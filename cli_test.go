@@ -1,0 +1,141 @@
+package amplify
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildTools compiles the three CLIs once per test binary.
+func buildTools(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	for _, tool := range []string{"amplify", "mccrun", "amplifybench"} {
+		out := filepath.Join(dir, tool)
+		cmd := exec.Command("go", "build", "-o", out, "./cmd/"+tool)
+		cmd.Env = os.Environ()
+		if b, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("building %s: %v\n%s", tool, err, b)
+		}
+	}
+	return dir
+}
+
+const cliProgram = `
+class Node {
+public:
+    Node(int d) {
+        v = d;
+        if (d > 0) {
+            left = new Node(d - 1);
+            right = new Node(d - 1);
+        }
+    }
+    ~Node() {
+        delete left;
+        delete right;
+    }
+private:
+    Node* left;
+    Node* right;
+    int v;
+};
+
+int main() {
+    for (int i = 0; i < 10; i = i + 1) {
+        Node* n = new Node(3);
+        delete n;
+    }
+    print("done");
+    return 0;
+}
+`
+
+func TestCLIEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bin := buildTools(t)
+	srcPath := filepath.Join(t.TempDir(), "prog.mcc")
+	if err := os.WriteFile(srcPath, []byte(cliProgram), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// amplify: transform and report.
+	out, err := exec.Command(filepath.Join(bin, "amplify"), "-report", srcPath).CombinedOutput()
+	if err != nil {
+		t.Fatalf("amplify: %v\n%s", err, out)
+	}
+	text := string(out)
+	for _, want := range []string{"leftShadow", "operator new", "pooled classes"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("amplify output missing %q", want)
+		}
+	}
+
+	// amplify -o writes a file that mccrun can execute.
+	ampPath := filepath.Join(t.TempDir(), "amped.mcc")
+	if out, err := exec.Command(filepath.Join(bin, "amplify"), "-o", ampPath, srcPath).CombinedOutput(); err != nil {
+		t.Fatalf("amplify -o: %v\n%s", err, out)
+	}
+
+	// mccrun on both engines and both variants agrees.
+	for _, engine := range []string{"vm", "ast"} {
+		for _, p := range []string{srcPath, ampPath} {
+			out, err := exec.Command(filepath.Join(bin, "mccrun"), "-engine", engine, p).CombinedOutput()
+			if err != nil {
+				t.Fatalf("mccrun %s %s: %v\n%s", engine, p, err, out)
+			}
+			if string(out) != "done\n" {
+				t.Errorf("mccrun %s %s output = %q", engine, p, out)
+			}
+		}
+	}
+
+	// mccrun -amplify -stats reports the transformation inline.
+	cmd := exec.Command(filepath.Join(bin, "mccrun"), "-amplify", "-stats", srcPath)
+	combined, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("mccrun -amplify: %v\n%s", err, combined)
+	}
+	if !strings.Contains(string(combined), "pool hits") {
+		t.Errorf("missing stats output:\n%s", combined)
+	}
+
+	// amplifybench lists and runs a cheap experiment.
+	out, err = exec.Command(filepath.Join(bin, "amplifybench"), "-list").CombinedOutput()
+	if err != nil {
+		t.Fatalf("amplifybench -list: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "fig11") {
+		t.Errorf("list missing fig11:\n%s", out)
+	}
+	out, err = exec.Command(filepath.Join(bin, "amplifybench"), "-exp", "table1").CombinedOutput()
+	if err != nil {
+		t.Fatalf("amplifybench table1: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "63") {
+		t.Errorf("table1 output wrong:\n%s", out)
+	}
+}
+
+func TestCLIErrors(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bin := buildTools(t)
+	// Parse error surfaces with a position and non-zero exit.
+	srcPath := filepath.Join(t.TempDir(), "bad.mcc")
+	if err := os.WriteFile(srcPath, []byte("class {"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := exec.Command(filepath.Join(bin, "amplify"), srcPath).CombinedOutput()
+	if err == nil {
+		t.Fatalf("expected failure, got:\n%s", out)
+	}
+	if !strings.Contains(string(out), "1:7") {
+		t.Errorf("error lacks position:\n%s", out)
+	}
+}

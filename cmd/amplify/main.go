@@ -1,0 +1,82 @@
+// Command amplify is the pre-processor CLI: it reads a MiniCC source
+// file, applies the Amplify transformation (structure pools via
+// operator new/delete overloads, shadow pointers, shadowed array
+// realloc) and writes the transformed source.
+//
+// Usage:
+//
+//	amplify [flags] input.mcc
+//
+// Flags:
+//
+//	-o file        write output to file (default: stdout)
+//	-exclude A,B   classes the pre-processor must leave alone (§5.1)
+//	-arrays-only   only shadow data-type arrays, the BGw variant (§5.2)
+//	-mode m        "shadow" (default) or "flag" (§5.1's one-bit sketch)
+//	-report        print a transformation report to stderr
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"amplify/internal/core"
+)
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	exclude := flag.String("exclude", "", "comma-separated class names to skip")
+	arraysOnly := flag.Bool("arrays-only", false, "only shadow data-type arrays (char[]/int[])")
+	mode := flag.String("mode", "shadow", "shadow | flag")
+	report := flag.Bool("report", false, "print a transformation report to stderr")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: amplify [flags] input.mcc  (use - for stdin)")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	src, err := readInput(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+
+	opt := core.Options{
+		ArraysOnly: *arraysOnly,
+		Mode:       core.Mode(*mode),
+	}
+	if *exclude != "" {
+		opt.Exclude = strings.Split(*exclude, ",")
+	}
+	transformed, rep, err := core.Rewrite(src, opt)
+	if err != nil {
+		fatal(err)
+	}
+	if *report {
+		fmt.Fprint(os.Stderr, rep.String())
+	}
+	if *out == "" {
+		fmt.Print(transformed)
+		return
+	}
+	if err := os.WriteFile(*out, []byte(transformed), 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+func readInput(path string) (string, error) {
+	if path == "-" {
+		b, err := io.ReadAll(os.Stdin)
+		return string(b), err
+	}
+	b, err := os.ReadFile(path)
+	return string(b), err
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "amplify:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,74 @@
+// Command amplifybench regenerates the tables and figures of the
+// paper's evaluation section on the simulated 8-processor machine.
+//
+// Usage:
+//
+//	amplifybench [flags]
+//
+// Flags:
+//
+//	-exp name   one of table1, fig4..fig11, claims, endtoend, or "all"
+//	-quick      smaller runs (coarser thread grid, fewer trees/CDRs)
+//	-list       list experiment names and exit
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"amplify/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run (see -list)")
+	quick := flag.Bool("quick", false, "reduced experiment sizes")
+	list := flag.Bool("list", false, "list experiments")
+	format := flag.String("format", "text", "text | csv | chart (figures only)")
+	flag.Parse()
+
+	names := append(bench.Names(), "endtoend")
+	if *list {
+		fmt.Println(strings.Join(names, "\n"))
+		return
+	}
+	r := bench.NewRunner(*quick)
+	var todo []string
+	if *exp == "all" {
+		todo = []string{"table1", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "claims", "memory", "pipeline", "sensitivity", "endtoend"}
+	} else {
+		todo = strings.Split(*exp, ",")
+	}
+	for i, name := range todo {
+		if i > 0 {
+			fmt.Println()
+		}
+		start := time.Now()
+		var out string
+		var err error
+		switch {
+		case name == "endtoend":
+			out, err = r.EndToEnd()
+		case (*format == "csv" || *format == "chart") && strings.HasPrefix(name, "fig"):
+			var f *bench.Figure
+			f, err = r.Figure(name)
+			if err == nil && *format == "csv" {
+				out = f.CSV()
+			} else if err == nil {
+				out = f.Chart(16)
+			}
+		default:
+			out, err = r.Run(name)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "amplifybench:", err)
+			os.Exit(1)
+		}
+		fmt.Print(out)
+		if *format != "csv" {
+			fmt.Printf("[%s regenerated in %.1fs]\n", name, time.Since(start).Seconds())
+		}
+	}
+}

@@ -1,0 +1,140 @@
+// Command mccrun executes a MiniCC program on the simulated SMP.
+//
+// Usage:
+//
+//	mccrun [flags] program.mcc
+//
+// Flags:
+//
+//	-alloc s     C-library allocator: serial | ptmalloc | hoard | smartheap
+//	-procs n     simulated processors (default 8)
+//	-amplify     run the Amplify pre-processor before executing
+//	-arrays-only with -amplify: only shadow data-type arrays
+//	-mode m      with -amplify: shadow | flag
+//	-stats       print execution statistics to stderr
+//
+// The program's print() output goes to stdout; the exit code is main's
+// return value.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"amplify/internal/core"
+	"amplify/internal/interp"
+	"amplify/internal/sim"
+	"amplify/internal/vm"
+)
+
+// runResult is the engine-independent result view.
+type runResult struct {
+	output                      string
+	exitCode                    int64
+	makespan                    int64
+	allocs, frees               int64
+	poolHits, poolMisses        int64
+	shadowReuses                int64
+	lockAcquires, lockContended int64
+	cacheMisses, cacheHits      int64
+	footprint                   int64
+}
+
+func main() {
+	allocName := flag.String("alloc", "serial", "allocator: serial | ptmalloc | hoard | smartheap | lkmalloc")
+	engine := flag.String("engine", "vm", "execution engine: vm (compiled bytecode) | ast (tree-walking)")
+	procs := flag.Int("procs", 8, "simulated processors")
+	amplify := flag.Bool("amplify", false, "pre-process with Amplify before running")
+	arraysOnly := flag.Bool("arrays-only", false, "with -amplify: only shadow data arrays")
+	mode := flag.String("mode", "shadow", "with -amplify: shadow | flag")
+	stats := flag.Bool("stats", false, "print execution statistics to stderr")
+	trace := flag.Int("trace", 0, "print the first N simulation events to stderr")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: mccrun [flags] program.mcc  (use - for stdin)")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	src, err := readInput(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	if *amplify {
+		transformed, rep, err := core.Rewrite(src, core.Options{
+			ArraysOnly: *arraysOnly,
+			Mode:       core.Mode(*mode),
+		})
+		if err != nil {
+			fatal(err)
+		}
+		src = transformed
+		if *stats {
+			fmt.Fprint(os.Stderr, rep.String())
+		}
+	}
+	var rec *sim.Recorder
+	if *trace > 0 {
+		rec = &sim.Recorder{Max: *trace}
+	}
+	var res runResult
+	switch *engine {
+	case "ast":
+		icfg := interp.Config{Processors: *procs, Strategy: *allocName}
+		if rec != nil {
+			icfg.Tracer = rec
+		}
+		r, err := interp.RunSource(src, icfg)
+		if err != nil {
+			fatal(err)
+		}
+		res = runResult{r.Output, r.ExitCode, r.Makespan, r.Alloc.Allocs, r.Alloc.Frees,
+			r.PoolHits, r.PoolMisses, r.ShadowReuses, r.Sim.LockAcquires, r.Sim.LockContended,
+			r.Sim.CacheMisses, r.Sim.CacheHits, r.Footprint}
+	case "vm":
+		vcfg := vm.Config{Processors: *procs, Strategy: *allocName}
+		if rec != nil {
+			vcfg.Tracer = rec
+		}
+		r, err := vm.RunSource(src, vcfg)
+		if err != nil {
+			fatal(err)
+		}
+		res = runResult{r.Output, r.ExitCode, r.Makespan, r.Alloc.Allocs, r.Alloc.Frees,
+			r.PoolHits, r.PoolMisses, r.ShadowReuses, r.Sim.LockAcquires, r.Sim.LockContended,
+			r.Sim.CacheMisses, r.Sim.CacheHits, r.Footprint}
+	default:
+		fatal(fmt.Errorf("unknown engine %q (want vm or ast)", *engine))
+	}
+	if rec != nil {
+		fmt.Fprint(os.Stderr, rec.Timeline())
+	}
+	fmt.Print(res.output)
+	if *stats {
+		fmt.Fprintf(os.Stderr, "execution statistics (%s engine)\n", *engine)
+		fmt.Fprintf(os.Stderr, "  makespan:        %d cycles\n", res.makespan)
+		fmt.Fprintf(os.Stderr, "  heap allocs:     %d (frees %d)\n", res.allocs, res.frees)
+		fmt.Fprintf(os.Stderr, "  pool hits:       %d (misses %d)\n", res.poolHits, res.poolMisses)
+		fmt.Fprintf(os.Stderr, "  shadow reuses:   %d\n", res.shadowReuses)
+		fmt.Fprintf(os.Stderr, "  lock acquires:   %d (contended %d)\n", res.lockAcquires, res.lockContended)
+		fmt.Fprintf(os.Stderr, "  cache misses:    %d (hits %d)\n", res.cacheMisses, res.cacheHits)
+		fmt.Fprintf(os.Stderr, "  footprint:       %d bytes\n", res.footprint)
+	}
+	os.Exit(int(res.exitCode))
+}
+
+func readInput(path string) (string, error) {
+	if path == "-" {
+		b, err := io.ReadAll(os.Stdin)
+		return string(b), err
+	}
+	b, err := os.ReadFile(path)
+	return string(b), err
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mccrun:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,80 @@
+// Memorylimits: the consumption-control techniques of §5.1/§5.2.
+//
+// Structure pools trade memory for speed. The paper discusses three
+// limiters, all implemented by the runtime, demonstrated here:
+//
+//  1. a maximum number of structures per pool (excess structures are
+//     released back to the heap),
+//  2. a maximum size for shadowed array memory (big blocks are freed
+//     normally instead of being parked as shadows),
+//  3. the shadowed-realloc reuse rule — reuse only when the request is
+//     between half and the whole of the shadow block — which bounds
+//     repeated-allocation consumption at twice the live size.
+//
+// Run with: go run ./examples/memorylimits
+package main
+
+import (
+	"fmt"
+
+	"amplify/internal/alloc"
+	"amplify/internal/mem"
+	"amplify/internal/pool"
+	"amplify/internal/sim"
+
+	_ "amplify/internal/serial"
+)
+
+func main() {
+	engine := sim.New(sim.Config{Processors: 4})
+	space := mem.NewSpace()
+	malloc, err := alloc.New("serial", engine, space, alloc.Options{})
+	if err != nil {
+		panic(err)
+	}
+	runtime := pool.NewRuntime(engine, malloc, pool.Config{
+		Shards:         1,
+		MaxObjects:     4,   // limiter 1
+		MaxShadowBytes: 256, // limiter 2
+	})
+	recPool := runtime.NewClassPool("Record", 64)
+
+	engine.Go("demo", func(c *sim.Ctx) {
+		// --- Limiter 1: pool population cap.
+		var refs []mem.Ref
+		for i := 0; i < 10; i++ {
+			r, _ := recPool.Alloc(c)
+			refs = append(refs, r)
+		}
+		for _, r := range refs {
+			recPool.Free(c, r)
+		}
+		fmt.Printf("pool cap:      10 structures freed, %d pooled, %d released to the heap\n",
+			recPool.FreeCount(), recPool.Released)
+
+		// --- Limiter 2: oversized shadows are not kept.
+		small := malloc.Alloc(c, 100)
+		big := malloc.Alloc(c, 4096)
+		keptSmall := runtime.ShadowSave(c, small, 100)
+		keptBig := runtime.ShadowSave(c, big, 4096)
+		fmt.Printf("shadow cap:    100B block kept=%v, 4096B block kept=%v (cap 256B)\n",
+			keptSmall, keptBig)
+
+		// --- Limiter 3: the half-to-full reuse rule bounds waste at 2x.
+		ref, usable := runtime.ShadowRealloc(c, mem.Nil, 0, 200)
+		worst := 0.0
+		for i := 0; i < 60; i++ {
+			want := int64(120 + (i*37)%140) // 120..259 bytes
+			ref, usable = runtime.ShadowRealloc(c, ref, usable, want)
+			if ratio := float64(usable) / float64(want); ratio > worst {
+				worst = ratio
+			}
+		}
+		fmt.Printf("realloc rule:  worst usable/requested ratio over 60 reallocs = %.2fx (guarantee: <= 2x)\n", worst)
+		fmt.Printf("               shadow reuses=%d, reallocations=%d\n",
+			runtime.ShadowReuses, runtime.ShadowMisses)
+	})
+	engine.Run()
+
+	fmt.Printf("\nprocess footprint: %d bytes\n", space.Footprint())
+}

@@ -1,0 +1,3 @@
+module amplify
+
+go 1.24

@@ -1,0 +1,91 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Chart renders the figure as an ASCII line chart, the closest a
+// terminal gets to the paper's speedup graphs. Each series is drawn
+// with its own glyph; collisions show the later series' glyph.
+func (f *Figure) Chart(height int) string {
+	if height <= 0 {
+		height = 16
+	}
+	if len(f.Series) == 0 || len(f.X) == 0 {
+		return f.Render()
+	}
+	glyphs := []byte{'*', 'o', '+', 'x', '#', '@'}
+
+	// Scale: y from 0 to the max value.
+	maxV := 0.0
+	for _, s := range f.Series {
+		for _, v := range s.Values {
+			if v > maxV {
+				maxV = v
+			}
+		}
+	}
+	if maxV <= 0 {
+		maxV = 1
+	}
+	cols := len(f.X)
+	colW := 6
+	width := cols * colW
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	rowOf := func(v float64) int {
+		r := int((v / maxV) * float64(height-1))
+		if r < 0 {
+			r = 0
+		}
+		if r > height-1 {
+			r = height - 1
+		}
+		return height - 1 - r
+	}
+	for si, s := range f.Series {
+		g := glyphs[si%len(glyphs)]
+		for i, v := range s.Values {
+			col := i*colW + colW/2
+			grid[rowOf(v)][col] = g
+			// Connect to the next point with a sparse line.
+			if i+1 < len(s.Values) {
+				r0, r1 := rowOf(v), rowOf(s.Values[i+1])
+				c0, c1 := col, (i+1)*colW+colW/2
+				steps := c1 - c0
+				for st := 1; st < steps; st++ {
+					rr := r0 + (r1-r0)*st/steps
+					cc := c0 + st
+					if grid[rr][cc] == ' ' {
+						grid[rr][cc] = '.'
+					}
+				}
+			}
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s. %s\n", f.ID, f.Title)
+	for i, row := range grid {
+		label := "      "
+		if i == 0 {
+			label = fmt.Sprintf("%5.1f ", maxV)
+		} else if i == height-1 {
+			label = "  0.0 "
+		}
+		fmt.Fprintf(&b, "%s|%s\n", label, string(row))
+	}
+	b.WriteString("      +" + strings.Repeat("-", width) + "\n")
+	b.WriteString("       ")
+	for _, x := range f.X {
+		fmt.Fprintf(&b, "%-*d", colW, x)
+	}
+	b.WriteString("(threads)\n")
+	for si, s := range f.Series {
+		fmt.Fprintf(&b, "       %c %s\n", glyphs[si%len(glyphs)], s.Name)
+	}
+	return b.String()
+}

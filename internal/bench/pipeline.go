@@ -1,0 +1,67 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"amplify/internal/bgw"
+	"amplify/internal/pool"
+)
+
+// Pipeline is an extension experiment: BGw restructured as the
+// producer/consumer flow the paper describes (one parser thread feeding
+// processing threads through a bounded queue). It demonstrates a
+// limitation the paper's batch measurements cannot see — structure
+// pools assume the freeing thread will also be the next allocating
+// thread — and the ptmalloc-style shard-steal remedy.
+func (r *Runner) Pipeline() (string, error) {
+	var b strings.Builder
+	b.WriteString("Pipeline BGw (extension): parser -> queue -> processors\n")
+	fmt.Fprintf(&b, "%d CDRs, 8 simulated CPUs; speedup vs 1-worker plain smartheap\n\n", r.CDRs)
+
+	base, err := bgw.RunPipeline(bgw.PipelineConfig{CDRs: r.CDRs, Workers: 1, Strategy: "smartheap"})
+	if err != nil {
+		return "", err
+	}
+	type variant struct {
+		name           string
+		amplify, steal bool
+	}
+	variants := []variant{
+		{"smartheap", false, false},
+		{"+amplify (no steal)", true, false},
+		{"+amplify +steal", true, true},
+	}
+	workerGrid := []int{1, 2, 4, 7}
+	fmt.Fprintf(&b, "%-22s", "workers")
+	for _, w := range workerGrid {
+		fmt.Fprintf(&b, "%8d", w)
+	}
+	b.WriteString("\n")
+	for _, v := range variants {
+		fmt.Fprintf(&b, "%-22s", v.name)
+		var last bgw.PipelineResult
+		for _, w := range workerGrid {
+			res, err := bgw.RunPipeline(bgw.PipelineConfig{
+				CDRs: r.CDRs, Workers: w, Strategy: "smartheap",
+				Amplify: v.amplify, Steal: v.steal,
+				Pool: pool.Config{MaxObjects: 64},
+			})
+			if err != nil {
+				return "", err
+			}
+			last = res
+			fmt.Fprintf(&b, "%8.2f", float64(base.Makespan)/float64(res.Makespan))
+		}
+		if v.amplify {
+			total := last.PoolHits + last.PoolMisses
+			fmt.Fprintf(&b, "   (record reuse %.0f%%, steals %d)",
+				100*float64(last.PoolHits)/float64(total), last.PoolSteals)
+		}
+		b.WriteString("\n")
+	}
+	b.WriteString("\nnote: without stealing, the parser's pool shard is always empty — the freeing\n")
+	b.WriteString("processors keep the structures — so record reuse is 0% and Amplify degenerates\n")
+	b.WriteString("to plain allocation; shard stealing (a ptmalloc-style failover, §3.2) restores it.\n")
+	return b.String(), nil
+}

@@ -1,0 +1,89 @@
+package bgw
+
+import (
+	"testing"
+
+	"amplify/internal/pool"
+)
+
+func runPipe(t *testing.T, cfg PipelineConfig) PipelineResult {
+	t.Helper()
+	if cfg.CDRs == 0 {
+		cfg.CDRs = 1200
+	}
+	r, err := RunPipeline(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestPipelineProcessesEverything(t *testing.T) {
+	r := runPipe(t, PipelineConfig{Strategy: "smartheap", Workers: 3})
+	// Plain mode frees everything it allocates.
+	if r.Alloc.LiveBlocks != 0 {
+		t.Fatalf("leaked %d blocks", r.Alloc.LiveBlocks)
+	}
+	// 1200 records x (1 record + numArrays buffers) from the parser,
+	// plus the workers' node buffers (numArrays each, freed at exit).
+	wantMin := int64(1200 * (1 + numArrays))
+	if r.Alloc.Allocs < wantMin {
+		t.Fatalf("allocs = %d, want >= %d", r.Alloc.Allocs, wantMin)
+	}
+}
+
+func TestPipelineWithoutStealNeverReuses(t *testing.T) {
+	// The adversarial case for structure pools: the parser allocates,
+	// the processors free — shards never hand structures back.
+	r := runPipe(t, PipelineConfig{Strategy: "smartheap", Workers: 3, Amplify: true,
+		Pool: pool.Config{MaxObjects: 64}})
+	if r.PoolHits != 0 {
+		t.Fatalf("pool hits = %d without stealing, want 0", r.PoolHits)
+	}
+	if r.PoolMisses == 0 {
+		t.Fatal("expected misses")
+	}
+}
+
+func TestPipelineStealRestoresReuse(t *testing.T) {
+	r := runPipe(t, PipelineConfig{Strategy: "smartheap", Workers: 3, Amplify: true, Steal: true})
+	if r.PoolSteals == 0 {
+		t.Fatal("no steals recorded")
+	}
+	total := r.PoolHits + r.PoolMisses
+	if float64(r.PoolHits) < 0.9*float64(total) {
+		t.Fatalf("hits = %d of %d record allocations; stealing should make reuse dominant", r.PoolHits, total)
+	}
+	// Structure reuse also restores the array shadows carried by the
+	// records.
+	if r.ShadowReuses == 0 {
+		t.Fatal("no shadow reuse")
+	}
+}
+
+func TestPipelineStealIsFaster(t *testing.T) {
+	noSteal := runPipe(t, PipelineConfig{Strategy: "smartheap", Workers: 3, Amplify: true,
+		Pool: pool.Config{MaxObjects: 64}})
+	steal := runPipe(t, PipelineConfig{Strategy: "smartheap", Workers: 3, Amplify: true, Steal: true})
+	if steal.Makespan >= noSteal.Makespan {
+		t.Fatalf("steal %d >= no-steal %d", steal.Makespan, noSteal.Makespan)
+	}
+}
+
+func TestPipelineMaxObjectsBoundsAccumulation(t *testing.T) {
+	// Without stealing, processors' shards grow without bound unless
+	// capped; with the cap, excess structures return to the heap.
+	capped := runPipe(t, PipelineConfig{Strategy: "smartheap", Workers: 3, Amplify: true,
+		Pool: pool.Config{MaxObjects: 8}})
+	if capped.Alloc.LiveBlocks > int64(8*2*8*(1+numArrays)+100) {
+		t.Fatalf("live blocks = %d; cap not effective", capped.Alloc.LiveBlocks)
+	}
+}
+
+func TestPipelineDeterministic(t *testing.T) {
+	a := runPipe(t, PipelineConfig{Strategy: "ptmalloc", Workers: 4, Amplify: true, Steal: true})
+	b := runPipe(t, PipelineConfig{Strategy: "ptmalloc", Workers: 4, Amplify: true, Steal: true})
+	if a.Makespan != b.Makespan {
+		t.Fatalf("non-deterministic: %d vs %d", a.Makespan, b.Makespan)
+	}
+}

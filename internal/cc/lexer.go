@@ -1,0 +1,241 @@
+package cc
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Lexer turns MiniCC source into tokens. It handles // and /* */
+// comments and tracks line/column positions.
+type Lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+}
+
+// NewLexer returns a lexer over src.
+func NewLexer(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+// Lex tokenizes the whole input.
+func Lex(src string) ([]Token, error) {
+	lx := NewLexer(src)
+	var toks []Token
+	for {
+		t, err := lx.Next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.Kind == EOF {
+			return toks, nil
+		}
+	}
+}
+
+func (l *Lexer) peek() byte {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off]
+}
+
+func (l *Lexer) peek2() byte {
+	if l.off+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off+1]
+}
+
+func (l *Lexer) advance() byte {
+	c := l.src[l.off]
+	l.off++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *Lexer) pos() Pos { return Pos{Line: l.line, Col: l.col} }
+
+// skipSpace consumes whitespace and comments.
+func (l *Lexer) skipSpace() error {
+	for l.off < len(l.src) {
+		c := l.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '/' && l.peek2() == '/':
+			for l.off < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.peek2() == '*':
+			start := l.pos()
+			l.advance()
+			l.advance()
+			for {
+				if l.off >= len(l.src) {
+					return errf(start, "unterminated block comment")
+				}
+				if l.peek() == '*' && l.peek2() == '/' {
+					l.advance()
+					l.advance()
+					break
+				}
+				l.advance()
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c))
+}
+
+func isIdentPart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c))
+}
+
+// Next returns the next token.
+func (l *Lexer) Next() (Token, error) {
+	if err := l.skipSpace(); err != nil {
+		return Token{}, err
+	}
+	pos := l.pos()
+	if l.off >= len(l.src) {
+		return Token{Kind: EOF, Pos: pos}, nil
+	}
+	c := l.peek()
+	switch {
+	case isIdentStart(c):
+		var sb strings.Builder
+		for l.off < len(l.src) && isIdentPart(l.peek()) {
+			sb.WriteByte(l.advance())
+		}
+		word := sb.String()
+		if k, ok := keywords[word]; ok {
+			return Token{Kind: k, Text: word, Pos: pos}, nil
+		}
+		return Token{Kind: IDENT, Text: word, Pos: pos}, nil
+
+	case c >= '0' && c <= '9':
+		var n int64
+		for l.off < len(l.src) && l.peek() >= '0' && l.peek() <= '9' {
+			n = n*10 + int64(l.advance()-'0')
+			if n < 0 {
+				return Token{}, errf(pos, "integer literal overflows int64")
+			}
+		}
+		if l.off < len(l.src) && isIdentStart(l.peek()) {
+			return Token{}, errf(pos, "malformed number")
+		}
+		return Token{Kind: INTLIT, Int: n, Pos: pos}, nil
+
+	case c == '"':
+		l.advance()
+		var sb strings.Builder
+		for {
+			if l.off >= len(l.src) || l.peek() == '\n' {
+				return Token{}, errf(pos, "unterminated string literal")
+			}
+			ch := l.advance()
+			if ch == '"' {
+				break
+			}
+			if ch == '\\' {
+				if l.off >= len(l.src) {
+					return Token{}, errf(pos, "unterminated escape")
+				}
+				esc := l.advance()
+				switch esc {
+				case 'n':
+					sb.WriteByte('\n')
+				case 't':
+					sb.WriteByte('\t')
+				case '\\', '"':
+					sb.WriteByte(esc)
+				default:
+					return Token{}, errf(pos, "unknown escape \\%c", esc)
+				}
+				continue
+			}
+			sb.WriteByte(ch)
+		}
+		return Token{Kind: STRLIT, Text: sb.String(), Pos: pos}, nil
+	}
+
+	mk := func(k Kind, n int) (Token, error) {
+		for i := 0; i < n; i++ {
+			l.advance()
+		}
+		return Token{Kind: k, Pos: pos}, nil
+	}
+	two := string(c) + string(l.peek2())
+	switch two {
+	case "->":
+		return mk(Arrow, 2)
+	case "==":
+		return mk(Eq, 2)
+	case "!=":
+		return mk(Ne, 2)
+	case "<=":
+		return mk(Le, 2)
+	case ">=":
+		return mk(Ge, 2)
+	case "&&":
+		return mk(AndAnd, 2)
+	case "||":
+		return mk(OrOr, 2)
+	}
+	switch c {
+	case '{':
+		return mk(LBrace, 1)
+	case '}':
+		return mk(RBrace, 1)
+	case '(':
+		return mk(LParen, 1)
+	case ')':
+		return mk(RParen, 1)
+	case '[':
+		return mk(LBracket, 1)
+	case ']':
+		return mk(RBracket, 1)
+	case ';':
+		return mk(Semi, 1)
+	case ',':
+		return mk(Comma, 1)
+	case ':':
+		return mk(Colon, 1)
+	case '.':
+		return mk(Dot, 1)
+	case '~':
+		return mk(Tilde, 1)
+	case '=':
+		return mk(Assign, 1)
+	case '<':
+		return mk(Lt, 1)
+	case '>':
+		return mk(Gt, 1)
+	case '+':
+		return mk(Plus, 1)
+	case '-':
+		return mk(Minus, 1)
+	case '*':
+		return mk(Star, 1)
+	case '/':
+		return mk(Slash, 1)
+	case '%':
+		return mk(Percent, 1)
+	case '!':
+		return mk(Not, 1)
+	}
+	return Token{}, errf(pos, "unexpected character %q", string(c))
+}

@@ -1,0 +1,301 @@
+package cc
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Print renders a program back to MiniCC source. The output of the
+// Amplify rewriter is printed with this and can be re-parsed; golden
+// tests compare it textually.
+func Print(prog *Program) string {
+	pr := &printer{}
+	for i, d := range prog.Decls {
+		if i > 0 {
+			pr.nl()
+		}
+		switch d := d.(type) {
+		case *ClassDecl:
+			pr.class(d)
+		case *FuncDecl:
+			pr.fun(d)
+		}
+	}
+	return pr.b.String()
+}
+
+type printer struct {
+	b      strings.Builder
+	indent int
+}
+
+func (p *printer) nl() { p.b.WriteByte('\n') }
+
+func (p *printer) line(format string, args ...any) {
+	p.b.WriteString(strings.Repeat("    ", p.indent))
+	fmt.Fprintf(&p.b, format, args...)
+	p.nl()
+}
+
+func (p *printer) class(cd *ClassDecl) {
+	p.line("class %s {", cd.Name)
+	p.indent++
+	access := Private
+	first := true
+	setAccess := func(a Access, pos bool) {
+		if a != access || first {
+			p.indent--
+			if a == Public {
+				p.line("public:")
+			} else {
+				p.line("private:")
+			}
+			p.indent++
+			access = a
+		}
+		first = false
+	}
+	// Methods first, then fields — the layout of the paper's listings.
+	for _, m := range cd.Methods {
+		setAccess(m.Access, true)
+		p.method(cd, m)
+	}
+	for _, f := range cd.Fields {
+		setAccess(f.Access, true)
+		comment := ""
+		if f.Shadow {
+			comment = " // shadow of " + f.ShadowOf + " (added by Amplify)"
+		}
+		p.line("%s %s;%s", f.Type, f.Name, comment)
+	}
+	p.indent--
+	p.line("};")
+}
+
+func (p *printer) method(cd *ClassDecl, m *Method) {
+	note := ""
+	if m.Synthetic {
+		note = " // added by Amplify"
+	}
+	switch m.Kind {
+	case Ctor:
+		p.b.WriteString(strings.Repeat("    ", p.indent))
+		fmt.Fprintf(&p.b, "%s(%s) ", cd.Name, params(m.Params))
+	case Dtor:
+		p.b.WriteString(strings.Repeat("    ", p.indent))
+		fmt.Fprintf(&p.b, "~%s() ", cd.Name)
+	case OpNew:
+		p.b.WriteString(strings.Repeat("    ", p.indent))
+		fmt.Fprintf(&p.b, "%s operator new(%s) ", m.Ret, params(m.Params))
+	case OpDelete:
+		p.b.WriteString(strings.Repeat("    ", p.indent))
+		fmt.Fprintf(&p.b, "%s operator delete(%s) ", m.Ret, params(m.Params))
+	default:
+		p.b.WriteString(strings.Repeat("    ", p.indent))
+		fmt.Fprintf(&p.b, "%s %s(%s) ", m.Ret, m.Name, params(m.Params))
+	}
+	p.blockInline(m.Body, note)
+}
+
+func (p *printer) fun(fd *FuncDecl) {
+	p.b.WriteString(strings.Repeat("    ", p.indent))
+	fmt.Fprintf(&p.b, "%s %s(%s) ", fd.Ret, fd.Name, params(fd.Params))
+	p.blockInline(fd.Body, "")
+}
+
+func params(ps []*Param) string {
+	parts := make([]string, len(ps))
+	for i, pp := range ps {
+		parts[i] = fmt.Sprintf("%s %s", pp.Type, pp.Name)
+	}
+	return strings.Join(parts, ", ")
+}
+
+// blockInline prints "{ ... }" starting on the current line.
+func (p *printer) blockInline(b *Block, note string) {
+	p.b.WriteString("{" + note + "\n")
+	p.indent++
+	for _, s := range b.Stmts {
+		p.stmt(s)
+	}
+	p.indent--
+	p.line("}")
+}
+
+func (p *printer) stmt(s Stmt) {
+	switch s := s.(type) {
+	case *Block:
+		p.b.WriteString(strings.Repeat("    ", p.indent))
+		p.blockInline(s, "")
+	case *VarDecl:
+		if s.Init != nil {
+			p.line("%s %s = %s;", s.Type, s.Name, expr(s.Init))
+		} else {
+			p.line("%s %s;", s.Type, s.Name)
+		}
+	case *ExprStmt:
+		p.line("%s;", expr(s.X))
+	case *If:
+		p.b.WriteString(strings.Repeat("    ", p.indent))
+		fmt.Fprintf(&p.b, "if (%s) ", expr(s.Cond))
+		p.compound(s.Then)
+		if s.Else != nil {
+			p.b.WriteString(strings.Repeat("    ", p.indent))
+			p.b.WriteString("else ")
+			p.compound(s.Else)
+		}
+	case *While:
+		p.b.WriteString(strings.Repeat("    ", p.indent))
+		fmt.Fprintf(&p.b, "while (%s) ", expr(s.Cond))
+		p.compound(s.Body)
+	case *For:
+		init, cond, post := "", "", ""
+		if s.Init != nil {
+			switch is := s.Init.(type) {
+			case *VarDecl:
+				if is.Init != nil {
+					init = fmt.Sprintf("%s %s = %s", is.Type, is.Name, expr(is.Init))
+				} else {
+					init = fmt.Sprintf("%s %s", is.Type, is.Name)
+				}
+			case *ExprStmt:
+				init = expr(is.X)
+			}
+		}
+		if s.Cond != nil {
+			cond = expr(s.Cond)
+		}
+		if s.Post != nil {
+			post = expr(s.Post)
+		}
+		p.b.WriteString(strings.Repeat("    ", p.indent))
+		fmt.Fprintf(&p.b, "for (%s; %s; %s) ", init, cond, post)
+		p.compound(s.Body)
+	case *Return:
+		if s.X != nil {
+			p.line("return %s;", expr(s.X))
+		} else {
+			p.line("return;")
+		}
+	case *DeleteStmt:
+		if s.Array {
+			p.line("delete[] %s;", expr(s.X))
+		} else {
+			p.line("delete %s;", expr(s.X))
+		}
+	case *Spawn:
+		p.line("spawn %s(%s);", s.Func, exprList(s.Args))
+	case *Join:
+		p.line("join;")
+	}
+}
+
+// compound prints a statement that follows a control header, bracing
+// single statements for readability.
+func (p *printer) compound(s Stmt) {
+	if b, ok := s.(*Block); ok {
+		p.blockInline(b, "")
+		return
+	}
+	p.b.WriteString("{\n")
+	p.indent++
+	p.stmt(s)
+	p.indent--
+	p.line("}")
+}
+
+func exprList(es []Expr) string {
+	parts := make([]string, len(es))
+	for i, e := range es {
+		parts[i] = expr(e)
+	}
+	return strings.Join(parts, ", ")
+}
+
+// expr renders an expression, parenthesizing nested binaries
+// conservatively.
+func expr(e Expr) string {
+	switch e := e.(type) {
+	case *IntLit:
+		return fmt.Sprintf("%d", e.Value)
+	case *StrLit:
+		return fmt.Sprintf("%q", e.Value)
+	case *NullLit:
+		return "null"
+	case *Ident:
+		return e.Name
+	case *This:
+		return "this"
+	case *Paren:
+		return "(" + expr(e.X) + ")"
+	case *Unary:
+		op := "!"
+		if e.Op == Minus {
+			op = "-"
+		}
+		return op + operand(e.X)
+	case *Binary:
+		return fmt.Sprintf("%s %s %s", operand(e.X), opText(e.Op), operand(e.Y))
+	case *AssignExpr:
+		return fmt.Sprintf("%s = %s", expr(e.LHS), expr(e.RHS))
+	case *Call:
+		return fmt.Sprintf("%s(%s)", e.Func, exprList(e.Args))
+	case *MethodCall:
+		return fmt.Sprintf("%s->%s(%s)", operand(e.Recv), e.Name, exprList(e.Args))
+	case *DtorCall:
+		return fmt.Sprintf("%s->~%s()", operand(e.Recv), e.Class)
+	case *FieldAccess:
+		return fmt.Sprintf("%s->%s", operand(e.Recv), e.Name)
+	case *Index:
+		return fmt.Sprintf("%s[%s]", operand(e.X), expr(e.I))
+	case *NewExpr:
+		if e.Placement != nil {
+			return fmt.Sprintf("new(%s) %s(%s)", expr(e.Placement), e.Class, exprList(e.Args))
+		}
+		return fmt.Sprintf("new %s(%s)", e.Class, exprList(e.Args))
+	case *NewArray:
+		return fmt.Sprintf("new %s[%s]", e.Elem.Name, expr(e.Len))
+	}
+	return fmt.Sprintf("/*?%T*/", e)
+}
+
+// operand wraps composite subexpressions in parentheses.
+func operand(e Expr) string {
+	switch e.(type) {
+	case *Binary, *AssignExpr, *Unary:
+		return "(" + expr(e) + ")"
+	}
+	return expr(e)
+}
+
+func opText(k Kind) string {
+	switch k {
+	case Eq:
+		return "=="
+	case Ne:
+		return "!="
+	case Lt:
+		return "<"
+	case Le:
+		return "<="
+	case Gt:
+		return ">"
+	case Ge:
+		return ">="
+	case Plus:
+		return "+"
+	case Minus:
+		return "-"
+	case Star:
+		return "*"
+	case Slash:
+		return "/"
+	case Percent:
+		return "%"
+	case AndAnd:
+		return "&&"
+	case OrOr:
+		return "||"
+	}
+	return "?"
+}

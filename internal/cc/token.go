@@ -1,0 +1,132 @@
+// Package cc implements the front end for MiniCC, the C++ subset the
+// Amplify pre-processor operates on: classes with fields, constructors,
+// destructors and inline methods; new/delete and new[]/delete[]
+// expressions, including placement new and explicit destructor calls
+// (which the rewriter emits); free functions; and spawn/join threading.
+// The package provides a lexer, a recursive-descent parser, a semantic
+// analyzer and a source printer, so that transformed programs can be
+// emitted, re-parsed and executed.
+package cc
+
+import "fmt"
+
+// Kind enumerates token kinds.
+type Kind int
+
+// Token kinds.
+const (
+	EOF Kind = iota
+	IDENT
+	INTLIT
+	STRLIT
+
+	// Keywords.
+	KwClass
+	KwPublic
+	KwPrivate
+	KwIf
+	KwElse
+	KwWhile
+	KwFor
+	KwReturn
+	KwNew
+	KwDelete
+	KwThis
+	KwInt
+	KwChar
+	KwVoid
+	KwUint
+	KwSpawn
+	KwJoin
+	KwOperator
+	KwNull
+
+	// Punctuation and operators.
+	LBrace
+	RBrace
+	LParen
+	RParen
+	LBracket
+	RBracket
+	Semi
+	Comma
+	Colon
+	Arrow
+	Dot
+	Tilde
+	Assign
+	Eq
+	Ne
+	Lt
+	Le
+	Gt
+	Ge
+	Plus
+	Minus
+	Star
+	Slash
+	Percent
+	Not
+	AndAnd
+	OrOr
+)
+
+var kindNames = map[Kind]string{
+	EOF: "end of file", IDENT: "identifier", INTLIT: "integer", STRLIT: "string",
+	KwClass: "'class'", KwPublic: "'public'", KwPrivate: "'private'", KwIf: "'if'",
+	KwElse: "'else'", KwWhile: "'while'", KwFor: "'for'", KwReturn: "'return'",
+	KwNew: "'new'", KwDelete: "'delete'", KwThis: "'this'", KwInt: "'int'",
+	KwChar: "'char'", KwVoid: "'void'", KwUint: "'uint'", KwSpawn: "'spawn'",
+	KwJoin: "'join'", KwOperator: "'operator'", KwNull: "'null'",
+	LBrace: "'{'", RBrace: "'}'", LParen: "'('", RParen: "')'",
+	LBracket: "'['", RBracket: "']'", Semi: "';'", Comma: "','", Colon: "':'",
+	Arrow: "'->'", Dot: "'.'", Tilde: "'~'", Assign: "'='", Eq: "'=='",
+	Ne: "'!='", Lt: "'<'", Le: "'<='", Gt: "'>'", Ge: "'>='", Plus: "'+'",
+	Minus: "'-'", Star: "'*'", Slash: "'/'", Percent: "'%'", Not: "'!'",
+	AndAnd: "'&&'", OrOr: "'||'",
+}
+
+// String names the kind for error messages.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+var keywords = map[string]Kind{
+	"class": KwClass, "public": KwPublic, "private": KwPrivate, "if": KwIf,
+	"else": KwElse, "while": KwWhile, "for": KwFor, "return": KwReturn,
+	"new": KwNew, "delete": KwDelete, "this": KwThis, "int": KwInt,
+	"char": KwChar, "void": KwVoid, "uint": KwUint, "spawn": KwSpawn,
+	"join": KwJoin, "operator": KwOperator, "null": KwNull,
+}
+
+// Pos is a source position.
+type Pos struct {
+	Line, Col int
+}
+
+// String formats the position.
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is one lexical token.
+type Token struct {
+	Kind Kind
+	Text string // identifier, literal or string body
+	Int  int64  // INTLIT value
+	Pos  Pos
+}
+
+// Error is a front-end diagnostic with a position.
+type Error struct {
+	Pos Pos
+	Msg string
+}
+
+// Error implements error.
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+func errf(pos Pos, format string, args ...any) *Error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestGoldenRootChild pins the exact pre-processor output for the
+// paper's running example, so that any change to the emitted code shape
+// is a conscious decision.
+func TestGoldenRootChild(t *testing.T) {
+	src := `
+class Child {
+public:
+    Child(int v) {
+        data = v;
+    }
+    ~Child() {
+    }
+private:
+    int data;
+};
+
+class Root {
+public:
+    Root(int n) {
+        left = new Child(n);
+    }
+    ~Root() {
+        delete left;
+    }
+private:
+    Child* left;
+};
+
+int main() {
+    Root* r = new Root(7);
+    delete r;
+    return 0;
+}
+`
+	const golden = `class Child {
+public:
+    Child(int v) {
+        data = v;
+    }
+    ~Child() {
+    }
+    void* operator new(uint size) { // added by Amplify
+        return __pool_alloc(Child);
+    }
+    void operator delete(void* p) { // added by Amplify
+        __pool_free(Child, p);
+    }
+private:
+    int data;
+};
+
+class Root {
+public:
+    Root(int n) {
+        left = new(leftShadow) Child(n);
+    }
+    ~Root() {
+        if (left) {
+            left->~Child();
+            leftShadow = left;
+        }
+    }
+    void* operator new(uint size) { // added by Amplify
+        return __pool_alloc(Root);
+    }
+    void operator delete(void* p) { // added by Amplify
+        __pool_free(Root, p);
+    }
+private:
+    Child* left;
+    Child* leftShadow; // shadow of left (added by Amplify)
+};
+
+int main() {
+    Root* r = new Root(7);
+    delete r;
+    return 0;
+}
+`
+	out, _, err := Rewrite(src, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != golden {
+		t.Fatalf("golden mismatch:\n--- got ---\n%s\n--- want ---\n%s\n--- first difference ---\n%s",
+			out, golden, firstDiff(out, golden))
+	}
+}
+
+func firstDiff(a, b string) string {
+	al, bl := strings.Split(a, "\n"), strings.Split(b, "\n")
+	for i := 0; i < len(al) && i < len(bl); i++ {
+		if al[i] != bl[i] {
+			return strings.Join([]string{"line", al[i], "vs", bl[i]}, " | ")
+		}
+	}
+	return "length differs"
+}

@@ -1,0 +1,79 @@
+// Package handmade implements the programmer-written structure pool of
+// §3.1 of the paper — the "theoretical maximum of what an optimizing
+// pre-processor could do" plotted in Figure 10. The programmer knows
+// things the pre-processor cannot: which thread uses which pool (so no
+// locks are needed at all), how many structures to pre-allocate with
+// init(), and exactly which objects make up the common template.
+package handmade
+
+import (
+	"amplify/internal/alloc"
+	"amplify/internal/mem"
+	"amplify/internal/sim"
+)
+
+// PathOps is the bookkeeping charge of a handmade pool operation — the
+// programmer's bespoke code does strictly less than the generalized
+// runtime.
+const PathOps = 3
+
+// Pool is a thread-private structure pool for one structure type. The
+// programmer guarantees it is only touched by its owning thread, so it
+// has no lock (§3.1: "the programmer keeps track of which pools are
+// used by which threads").
+type Pool struct {
+	under     alloc.Allocator
+	size      int64
+	free      []mem.Ref
+	metaAddr  uint64
+	Hits      int64
+	Misses    int64
+	Preallocd int64
+}
+
+// New creates a pool for structures of the given root size over the
+// underlying allocator. metaAddr must be a cache-line-private address
+// for the pool's free-list head (thread-private pools never share
+// lines).
+func New(under alloc.Allocator, size int64, metaAddr uint64) *Pool {
+	return &Pool{under: under, size: size, metaAddr: metaAddr}
+}
+
+// Init pre-allocates n template structures into the free list, as the
+// handmade pools' init() does (§3.1).
+func (p *Pool) Init(c *sim.Ctx, n int) {
+	for i := 0; i < n; i++ {
+		ref := p.under.Alloc(c, p.size)
+		p.free = append(p.free, ref)
+		p.Preallocd++
+	}
+	c.Write(p.metaAddr, 8)
+}
+
+// Alloc pops a structure; reused reports whether it came from the pool.
+func (p *Pool) Alloc(c *sim.Ctx) (ref mem.Ref, reused bool) {
+	c.Work(PathOps)
+	c.Read(p.metaAddr, 8)
+	if n := len(p.free); n > 0 {
+		ref = p.free[n-1]
+		p.free = p.free[:n-1]
+		c.Read(uint64(ref), 8)
+		c.Write(p.metaAddr, 8)
+		p.Hits++
+		return ref, true
+	}
+	p.Misses++
+	return p.under.Alloc(c, p.size), false
+}
+
+// Free pushes a structure back. No lock, no limit checks: the
+// programmer sized the pool.
+func (p *Pool) Free(c *sim.Ctx, ref mem.Ref) {
+	c.Work(PathOps)
+	c.Write(uint64(ref), 8)
+	c.Write(p.metaAddr, 8)
+	p.free = append(p.free, ref)
+}
+
+// FreeCount reports the pooled structure count.
+func (p *Pool) FreeCount() int { return len(p.free) }

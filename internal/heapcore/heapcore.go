@@ -1,0 +1,213 @@
+// Package heapcore implements a single-threaded, size-class binned
+// free-list heap in the style of Doug Lea's allocator. It is the shared
+// core of the "serial" baseline allocator (one heap behind one global
+// lock, standing in for the Solaris default malloc) and of the ptmalloc
+// reproduction (one heap per arena). Thread safety is the caller's
+// responsibility.
+//
+// Realism notes: block headers, bin head pointers and free-list links
+// are charged as simulated memory accesses at their real addresses, so
+// that metadata cache-line traffic — including false sharing of bin
+// heads between processors on the serial allocator — emerges from the
+// model rather than being assumed.
+package heapcore
+
+import (
+	"fmt"
+
+	"amplify/internal/mem"
+	"amplify/internal/sim"
+)
+
+const (
+	headerSize = 8
+	align      = 16
+	// smallStep and smallMax define the exact small classes: 16, 32, ...
+	smallStep = 16
+	smallMax  = 512
+	// chunkMin is the minimum region carved from the address space when
+	// the wilderness runs dry.
+	chunkMin = 64 * 1024
+)
+
+// Heap is one binned free-list heap.
+type Heap struct {
+	space *mem.Space
+
+	// pathOps is extra bookkeeping work charged per operation. The
+	// baseline Solaris-style allocator pays more here than the tuned
+	// ptmalloc core; the difference reproduces the paper's observation
+	// that pooling helps uniprocessors too.
+	pathOps int64
+
+	// metaBase is the address of this heap's metadata block: bin head
+	// pointers live there, so heaps in different arenas never share
+	// metadata cache lines.
+	metaBase mem.Ref
+
+	bins    [][]mem.Ref // LIFO free stacks per size class
+	classes []int64     // usable size per class
+
+	top    mem.Ref // wilderness pointer
+	topEnd mem.Ref
+
+	sizes map[mem.Ref]int64 // usable size of every block ever carved
+
+	Allocs, Frees int64
+	CarvedBytes   int64
+}
+
+// Config parameterizes a heap core.
+type Config struct {
+	// PathOps is the bookkeeping work (in ops) charged on each alloc and
+	// free in addition to modelled memory traffic.
+	PathOps int64
+}
+
+// New creates a heap on the given space. The heap reserves one page for
+// its metadata so different heaps never share metadata lines.
+func New(sp *mem.Space, cfg Config) *Heap {
+	h := &Heap{
+		space:   sp,
+		pathOps: cfg.PathOps,
+		sizes:   make(map[mem.Ref]int64),
+	}
+	for s := int64(smallStep); s <= smallMax; s += smallStep {
+		h.classes = append(h.classes, s)
+	}
+	for s := int64(smallMax) * 2; s <= 1<<20; s *= 2 {
+		h.classes = append(h.classes, s)
+	}
+	h.bins = make([][]mem.Ref, len(h.classes))
+	h.metaBase = sp.Sbrk(nil, mem.PageSize)
+	return h
+}
+
+// classFor returns the bin index and usable size for a request, or
+// (-1, rounded) for huge blocks served directly from the space.
+func (h *Heap) classFor(size int64) (int, int64) {
+	if size <= 0 {
+		size = 1
+	}
+	if size <= smallMax {
+		idx := int((size + smallStep - 1) / smallStep)
+		return idx - 1, int64(idx) * smallStep
+	}
+	c := int64(smallMax) * 2
+	idx := smallMax / smallStep
+	for c <= 1<<20 {
+		if size <= c {
+			return idx, c
+		}
+		c *= 2
+		idx++
+	}
+	return -1, (size + align - 1) &^ (align - 1)
+}
+
+// binAddr is the simulated address of the bin's head pointer.
+func (h *Heap) binAddr(bin int) uint64 { return uint64(h.metaBase) + uint64(8*bin) }
+
+// topAddr is the simulated address of the wilderness pointer.
+func (h *Heap) topAddr() uint64 { return uint64(h.metaBase) + uint64(8*len(h.bins)) }
+
+// MetaBase returns the heap's metadata page address. Callers placing a
+// lock word for this heap should use an offset of at least LockOffset.
+func (h *Heap) MetaBase() mem.Ref { return h.metaBase }
+
+// LockOffset is a metadata-page offset safely beyond the bin heads and
+// wilderness pointer, on its own cache line.
+const LockOffset = 1024
+
+// UsableSize reports the usable size of an allocated or freed block.
+func (h *Heap) UsableSize(ref mem.Ref) int64 {
+	n, ok := h.sizes[ref]
+	if !ok {
+		panic(fmt.Sprintf("heapcore: UsableSize of unknown block %#x", uint64(ref)))
+	}
+	return n
+}
+
+// Owns reports whether ref was carved by this heap.
+func (h *Heap) Owns(ref mem.Ref) bool {
+	_, ok := h.sizes[ref]
+	return ok
+}
+
+// Alloc carves or reuses a block of at least size bytes.
+func (h *Heap) Alloc(c *sim.Ctx, size int64) mem.Ref {
+	h.Allocs++
+	c.Work(h.pathOps)
+	bin, usable := h.classFor(size)
+	if bin < 0 {
+		// Huge allocation: straight from the space.
+		ref := h.space.Sbrk(c, usable+headerSize) + headerSize
+		h.sizes[ref] = usable
+		h.CarvedBytes += usable + headerSize
+		c.Write(uint64(ref)-headerSize, headerSize)
+		return ref
+	}
+	// First fit over this bin and a bounded number of larger ones
+	// (real dlmalloc consults a bin bitmap; the probe bound keeps the
+	// modelled search cost comparable), charging a probe per bin.
+	for b := bin; b < len(h.bins) && b <= bin+3; b++ {
+		c.Read(h.binAddr(b), 8)
+		if len(h.bins[b]) == 0 {
+			continue
+		}
+		last := len(h.bins[b]) - 1
+		ref := h.bins[b][last]
+		h.bins[b] = h.bins[b][:last]
+		// Pop: read the block's next link, update the bin head.
+		c.Read(uint64(ref), 8)
+		c.Write(h.binAddr(b), 8)
+		// Header write marks the block in use.
+		c.Write(uint64(ref)-headerSize, headerSize)
+		return ref
+	}
+	return h.carve(c, usable)
+}
+
+// carve cuts a fresh block from the wilderness, extending the space as
+// needed.
+func (h *Heap) carve(c *sim.Ctx, usable int64) mem.Ref {
+	stride := usable + headerSize
+	c.Read(h.topAddr(), 8)
+	if h.top == mem.Nil || h.top+mem.Ref(stride) > h.topEnd {
+		grow := int64(chunkMin)
+		if stride > grow {
+			grow = stride
+		}
+		h.top = h.space.Sbrk(c, grow)
+		h.topEnd = h.top + mem.Ref((grow+mem.PageSize-1)/mem.PageSize*mem.PageSize)
+		h.CarvedBytes += grow
+	}
+	ref := h.top + headerSize
+	h.top += mem.Ref(stride)
+	c.Write(h.topAddr(), 8)
+	h.sizes[ref] = usable
+	c.Write(uint64(ref)-headerSize, headerSize)
+	return ref
+}
+
+// Free returns a block to its size-class bin.
+func (h *Heap) Free(c *sim.Ctx, ref mem.Ref) {
+	h.Frees++
+	c.Work(h.pathOps)
+	usable, ok := h.sizes[ref]
+	if !ok {
+		panic(fmt.Sprintf("heapcore: Free of unknown block %#x", uint64(ref)))
+	}
+	c.Read(uint64(ref)-headerSize, headerSize) // read header for size
+	bin, _ := h.classFor(usable)
+	if bin < 0 {
+		// Huge blocks are abandoned to the space (real dlmalloc would
+		// munmap; the simulation only tracks footprint).
+		return
+	}
+	// Push: link the block to the current head, update the head.
+	c.Read(h.binAddr(bin), 8)
+	c.Write(uint64(ref), 8)
+	c.Write(h.binAddr(bin), 8)
+	h.bins[bin] = append(h.bins[bin], ref)
+}

@@ -1,0 +1,200 @@
+// Package mccgen generates random — but always valid and terminating —
+// MiniCC programs for differential testing of the Amplify
+// pre-processor: a transformed program must behave exactly like the
+// original under every option combination and allocator.
+//
+// Generated programs exercise the constructs the rewrites touch:
+// class DAGs with object-pointer fields (conditionally allocated, so
+// shadows are sometimes null and structures are not always identical),
+// data-array fields of varying length (shadowed realloc), methods that
+// read the whole structure into a printable checksum, and optional
+// multithreading.
+package mccgen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Config bounds the generated program.
+type Config struct {
+	// Seed selects the program deterministically.
+	Seed int64
+	// MaxClasses bounds the class count (at least 1 is generated).
+	MaxClasses int
+	// MaxFields bounds the per-class field count.
+	MaxFields int
+	// Iterations is the churn-loop trip count per worker.
+	Iterations int
+	// Threads > 1 spawns that many workers; otherwise the program is
+	// single-threaded (exercising lock elision).
+	Threads int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxClasses <= 0 {
+		c.MaxClasses = 4
+	}
+	if c.MaxFields <= 0 {
+		c.MaxFields = 4
+	}
+	if c.Iterations <= 0 {
+		c.Iterations = 12
+	}
+	if c.Threads <= 0 {
+		c.Threads = 1
+	}
+	return c
+}
+
+type field struct {
+	kind  byte // 'i' int, 'p' class pointer, 'b' char buffer
+	name  string
+	class int  // target class for 'p'
+	cond  bool // allocated only when the seed is even
+}
+
+type class struct {
+	name   string
+	fields []field
+}
+
+// Generate returns the program for the configuration.
+func Generate(cfg Config) string {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	n := 1 + rng.Intn(cfg.MaxClasses)
+	classes := make([]class, n)
+	for i := 0; i < n; i++ {
+		classes[i] = genClass(rng, cfg, classes, i, n)
+	}
+	var b strings.Builder
+	for i := range classes {
+		writeClass(&b, classes, i)
+	}
+	writeDriver(&b, cfg, rng)
+	return b.String()
+}
+
+func genClass(rng *rand.Rand, cfg Config, classes []class, idx, total int) class {
+	c := class{name: fmt.Sprintf("C%d", idx)}
+	nf := 1 + rng.Intn(cfg.MaxFields)
+	for f := 0; f < nf; f++ {
+		name := fmt.Sprintf("f%d", f)
+		switch {
+		// Pointer fields only reference higher-numbered classes, so the
+		// ownership graph is a DAG and construction terminates.
+		case idx+1 < total && rng.Intn(100) < 45:
+			c.fields = append(c.fields, field{
+				kind:  'p',
+				name:  name,
+				class: idx + 1 + rng.Intn(total-idx-1),
+				cond:  rng.Intn(100) < 35,
+			})
+		case rng.Intn(100) < 30:
+			c.fields = append(c.fields, field{kind: 'b', name: name})
+		default:
+			c.fields = append(c.fields, field{kind: 'i', name: name})
+		}
+	}
+	return c
+}
+
+func writeClass(b *strings.Builder, classes []class, idx int) {
+	c := classes[idx]
+	fmt.Fprintf(b, "class %s {\npublic:\n", c.name)
+
+	// Constructor.
+	fmt.Fprintf(b, "    %s(int seed) {\n", c.name)
+	for i, f := range c.fields {
+		switch f.kind {
+		case 'i':
+			fmt.Fprintf(b, "        %s = seed * %d + %d;\n", f.name, i+2, i)
+		case 'p':
+			alloc := fmt.Sprintf("%s = new %s(seed + %d);", f.name, classes[f.class].name, i+1)
+			if f.cond {
+				// The paper's "Car without an Engine" case (§5.1): the
+				// child is sometimes not created at all. Constructors
+				// must still initialize the pointer on every path — the
+				// Amplify method (like C++ itself) assumes no code
+				// reads uninitialized members.
+				fmt.Fprintf(b, "        if (seed %% 2 == 0) {\n            %s\n        } else {\n            %s = null;\n        }\n", alloc, f.name)
+			} else {
+				fmt.Fprintf(b, "        %s\n", alloc)
+			}
+		case 'b':
+			fmt.Fprintf(b, "        %sLen = 4 + seed %% 9;\n", f.name)
+			fmt.Fprintf(b, "        %s = new char[%sLen];\n", f.name, f.name)
+			fmt.Fprintf(b, "        for (int i = 0; i < %sLen; i = i + 1) {\n", f.name)
+			fmt.Fprintf(b, "            %s[i] = seed + i;\n", f.name)
+			fmt.Fprintf(b, "        }\n")
+		}
+	}
+	fmt.Fprintf(b, "    }\n")
+
+	// Destructor.
+	fmt.Fprintf(b, "    ~%s() {\n", c.name)
+	for _, f := range c.fields {
+		switch f.kind {
+		case 'p':
+			fmt.Fprintf(b, "        delete %s;\n", f.name)
+		case 'b':
+			fmt.Fprintf(b, "        delete[] %s;\n", f.name)
+		}
+	}
+	fmt.Fprintf(b, "    }\n")
+
+	// Checksum method reading every field (and child structures).
+	fmt.Fprintf(b, "    int sum() {\n        int s = 0;\n")
+	for _, f := range c.fields {
+		switch f.kind {
+		case 'i':
+			fmt.Fprintf(b, "        s = s + %s;\n", f.name)
+		case 'p':
+			fmt.Fprintf(b, "        if (%s) {\n            s = s + %s->sum();\n        }\n", f.name, f.name)
+		case 'b':
+			fmt.Fprintf(b, "        for (int i = 0; i < %sLen; i = i + 1) {\n", f.name)
+			fmt.Fprintf(b, "            s = s + %s[i];\n", f.name)
+			fmt.Fprintf(b, "        }\n")
+		}
+	}
+	fmt.Fprintf(b, "        return s;\n    }\n")
+
+	// Fields.
+	fmt.Fprintf(b, "private:\n")
+	for _, f := range c.fields {
+		switch f.kind {
+		case 'i':
+			fmt.Fprintf(b, "    int %s;\n", f.name)
+		case 'p':
+			fmt.Fprintf(b, "    %s* %s;\n", classes[f.class].name, f.name)
+		case 'b':
+			fmt.Fprintf(b, "    char* %s;\n", f.name)
+			fmt.Fprintf(b, "    int %sLen;\n", f.name)
+		}
+	}
+	fmt.Fprintf(b, "};\n\n")
+}
+
+func writeDriver(b *strings.Builder, cfg Config, rng *rand.Rand) {
+	fmt.Fprintf(b, "void churn(int id, int iters) {\n")
+	fmt.Fprintf(b, "    int total = 0;\n")
+	fmt.Fprintf(b, "    for (int i = 0; i < iters; i = i + 1) {\n")
+	fmt.Fprintf(b, "        C0* root = new C0(id * 100 + i);\n")
+	fmt.Fprintf(b, "        total = total + root->sum();\n")
+	fmt.Fprintf(b, "        delete root;\n")
+	fmt.Fprintf(b, "    }\n")
+	fmt.Fprintf(b, "    print(\"worker\", id, \"total\", total);\n")
+	fmt.Fprintf(b, "}\n\n")
+	fmt.Fprintf(b, "int main() {\n")
+	if cfg.Threads > 1 {
+		for t := 0; t < cfg.Threads; t++ {
+			fmt.Fprintf(b, "    spawn churn(%d, %d);\n", t, cfg.Iterations)
+		}
+		fmt.Fprintf(b, "    join;\n")
+	} else {
+		fmt.Fprintf(b, "    churn(0, %d);\n", cfg.Iterations)
+	}
+	fmt.Fprintf(b, "    return 0;\n}\n")
+}

@@ -1,0 +1,148 @@
+// Package ptmalloc reproduces Wolfram Gloger's ptmalloc as described in
+// §6 of the paper: a set of arenas, each a Doug Lea heap behind its own
+// mutex. A thread allocates from the arena it used last; if that arena's
+// lock is taken it "spins" over the other arenas with trylock, and if
+// every arena is busy a new arena is created (up to a limit), after
+// which the thread blocks on its preferred arena. Blocks are always
+// freed to the arena that carved them.
+package ptmalloc
+
+import (
+	"fmt"
+
+	"amplify/internal/alloc"
+	"amplify/internal/heapcore"
+	"amplify/internal/mem"
+	"amplify/internal/sim"
+)
+
+// PathOps is the per-operation bookkeeping charge of the tuned Lea core.
+const PathOps = 35
+
+// MaxArenasPerCPU bounds arena creation, as in ptmalloc.
+const MaxArenasPerCPU = 2
+
+type arena struct {
+	heap *heapcore.Heap
+	lock *sim.Mutex
+}
+
+// Allocator is the multi-arena allocator.
+type Allocator struct {
+	e      *sim.Engine
+	sp     *mem.Space
+	arenas []*arena
+	max    int
+	// affinity maps thread slot -> index of the arena used last.
+	affinity map[int]int
+	// owner maps each live block to its arena.
+	owner map[mem.Ref]int
+	stats alloc.Stats
+}
+
+// New creates a ptmalloc-style allocator with one initial arena.
+func New(e *sim.Engine, sp *mem.Space) *Allocator {
+	a := &Allocator{
+		e:        e,
+		sp:       sp,
+		max:      MaxArenasPerCPU * e.Processors(),
+		affinity: make(map[int]int),
+		owner:    make(map[mem.Ref]int),
+	}
+	a.addArena()
+	return a
+}
+
+func init() {
+	alloc.Register("ptmalloc", func(e *sim.Engine, sp *mem.Space, opt alloc.Options) alloc.Allocator {
+		a := New(e, sp)
+		if opt.Arenas > 0 {
+			a.max = opt.Arenas
+		}
+		return a
+	})
+}
+
+func (a *Allocator) addArena() int {
+	id := len(a.arenas)
+	h := heapcore.New(a.sp, heapcore.Config{PathOps: PathOps})
+	a.arenas = append(a.arenas, &arena{
+		heap: h,
+		lock: a.e.NewMutexAt(fmt.Sprintf("ptmalloc.arena%d", id), uint64(h.MetaBase())+heapcore.LockOffset),
+	})
+	return id
+}
+
+// Name implements alloc.Allocator.
+func (a *Allocator) Name() string { return "ptmalloc" }
+
+// Arenas reports how many arenas exist (tests observe arena growth).
+func (a *Allocator) Arenas() int { return len(a.arenas) }
+
+// lockArena implements the arena-selection protocol and returns the
+// locked arena's index.
+func (a *Allocator) lockArena(c *sim.Ctx) int {
+	pref, ok := a.affinity[c.ThreadID()]
+	if !ok {
+		pref = c.ThreadID() % len(a.arenas)
+	}
+	// Fast path: the last-used arena.
+	if a.arenas[pref].lock.TryLock(c) {
+		return pref
+	}
+	// Spin over the other arenas.
+	for i := 1; i < len(a.arenas); i++ {
+		id := (pref + i) % len(a.arenas)
+		if a.arenas[id].lock.TryLock(c) {
+			a.affinity[c.ThreadID()] = id
+			return id
+		}
+	}
+	// All busy: grow if allowed, otherwise block on the preferred arena.
+	if len(a.arenas) < a.max {
+		id := a.addArena()
+		a.arenas[id].lock.Lock(c)
+		a.affinity[c.ThreadID()] = id
+		return id
+	}
+	a.arenas[pref].lock.Lock(c)
+	return pref
+}
+
+// Alloc implements alloc.Allocator.
+func (a *Allocator) Alloc(c *sim.Ctx, size int64) mem.Ref {
+	id := a.lockArena(c)
+	ar := a.arenas[id]
+	ref := ar.heap.Alloc(c, size)
+	a.owner[ref] = id
+	a.stats.Count(ar.heap.UsableSize(ref))
+	ar.lock.Unlock(c)
+	return ref
+}
+
+// Free implements alloc.Allocator. The block returns to its home arena,
+// whose lock must be taken even when another thread triggered the free —
+// this cross-arena traffic is ptmalloc's real behaviour.
+func (a *Allocator) Free(c *sim.Ctx, ref mem.Ref) {
+	id, ok := a.owner[ref]
+	if !ok {
+		panic(fmt.Sprintf("ptmalloc: Free of unknown block %#x", uint64(ref)))
+	}
+	ar := a.arenas[id]
+	ar.lock.Lock(c)
+	a.stats.Uncount(ar.heap.UsableSize(ref))
+	ar.heap.Free(c, ref)
+	ar.lock.Unlock(c)
+}
+
+// UsableSize implements alloc.Allocator.
+func (a *Allocator) UsableSize(ref mem.Ref) int64 {
+	id, ok := a.owner[ref]
+	if !ok {
+		panic(fmt.Sprintf("ptmalloc: UsableSize of unknown block %#x", uint64(ref)))
+	}
+	return a.arenas[id].heap.UsableSize(ref)
+}
+
+// Stats implements alloc.Allocator.
+func (a *Allocator) Stats() alloc.Stats { return a.stats }

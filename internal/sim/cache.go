@@ -1,0 +1,95 @@
+package sim
+
+// Cache models per-processor caches at cache-line granularity with a
+// simplified MESI protocol: every line has a global version number that
+// is bumped on each write, and each processor remembers the last version
+// it observed. A processor whose remembered version is stale pays a miss;
+// a store to a line last written by a different processor additionally
+// pays a read-for-ownership. Capacity is unbounded — the experiments in
+// the paper are dominated by coherence traffic (false sharing, line
+// ping-pong between pools and threads), not by capacity misses.
+type Cache struct {
+	lineShift uint
+	cost      *CostModel
+	// global holds, per line, the current version and last writer.
+	global map[uint64]lineState
+	// seen[cpu] maps line -> version last observed by that processor.
+	seen []map[uint64]uint32
+
+	Hits   int64
+	Misses int64
+	RFOs   int64
+}
+
+type lineState struct {
+	version uint32
+	writer  int32
+}
+
+// newCache returns a cache model for p processors with the given line
+// size, which must be a power of two.
+func newCache(p int, lineSize int64, cost *CostModel) *Cache {
+	shift := uint(0)
+	for int64(1)<<shift < lineSize {
+		shift++
+	}
+	seen := make([]map[uint64]uint32, p)
+	for i := range seen {
+		seen[i] = make(map[uint64]uint32)
+	}
+	return &Cache{
+		lineShift: shift,
+		cost:      cost,
+		global:    make(map[uint64]lineState),
+		seen:      seen,
+	}
+}
+
+// LineSize reports the cache line size in bytes.
+func (c *Cache) LineSize() int64 { return int64(1) << c.lineShift }
+
+// access charges t for touching [addr, addr+size) on processor cpu.
+// write distinguishes stores from loads.
+func (c *Cache) access(t *Thread, cpu int, addr uint64, size int64, write bool) {
+	if size <= 0 {
+		size = 1
+	}
+	first := addr >> c.lineShift
+	last := (addr + uint64(size) - 1) >> c.lineShift
+	for line := first; line <= last; line++ {
+		c.accessLine(t, cpu, line, write)
+	}
+}
+
+func (c *Cache) accessLine(t *Thread, cpu int, line uint64, write bool) {
+	st := c.global[line]
+	have, cached := c.seen[cpu][line]
+	var cycles int64
+	if cached && have == st.version {
+		cycles = c.cost.CacheHit
+		c.Hits++
+		t.CacheHits++
+	} else {
+		cycles = c.cost.CacheMiss
+		c.Misses++
+		t.CacheMisses++
+	}
+	if write {
+		if st.writer != int32(cpu) && st.version != 0 {
+			cycles += c.cost.CacheRFO
+			c.RFOs++
+		}
+		st.version++
+		st.writer = int32(cpu)
+		c.global[line] = st
+	}
+	c.seen[cpu][line] = st.version
+	t.advance(cycles)
+}
+
+// flushCPU drops every line cached by processor cpu. It models the cache
+// affinity a thread loses when it migrates to a different processor.
+// (The thread pays for the refill through subsequent misses.)
+func (c *Cache) flushCPU(cpu int) {
+	clear(c.seen[cpu])
+}

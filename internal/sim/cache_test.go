@@ -1,0 +1,90 @@
+package sim
+
+import "testing"
+
+func TestRFOChargedOnForeignWrite(t *testing.T) {
+	e := New(Config{Processors: 2})
+	wg := e.NewWaitGroup()
+	wg.Add(1)
+	e.Go("first", func(c *Ctx) {
+		c.Write(0x1000, 8)
+		wg.Done(c)
+	})
+	e.Go("second", func(c *Ctx) {
+		wg.Wait(c)
+		c.Write(0x1000, 8) // other CPU owns the line: RFO
+	})
+	e.Run()
+	if e.Cache().RFOs == 0 {
+		t.Fatal("no RFO charged for cross-CPU write")
+	}
+}
+
+func TestSameCPUWritesNoRFO(t *testing.T) {
+	e := New(Config{Processors: 2})
+	e.Go("w", func(c *Ctx) {
+		for i := 0; i < 10; i++ {
+			c.Write(0x1000, 8)
+		}
+	})
+	e.Run()
+	if e.Cache().RFOs != 0 {
+		t.Fatalf("RFOs = %d for single-writer line", e.Cache().RFOs)
+	}
+	if e.Cache().Misses != 1 {
+		t.Fatalf("misses = %d, want 1 (cold only)", e.Cache().Misses)
+	}
+}
+
+func TestInvalidationAfterRemoteWrite(t *testing.T) {
+	e := New(Config{Processors: 2})
+	wg1 := e.NewWaitGroup()
+	wg2 := e.NewWaitGroup()
+	wg1.Add(1)
+	wg2.Add(1)
+	var missesBefore, missesAfter int64
+	e.Go("reader", func(c *Ctx) {
+		c.Read(0x2000, 8) // cold miss, now cached
+		c.Read(0x2000, 8) // hit
+		missesBefore = c.Thread().CacheMisses
+		wg1.Done(c)
+		wg2.Wait(c)
+		c.Read(0x2000, 8) // invalidated by the writer: miss again
+		missesAfter = c.Thread().CacheMisses
+	})
+	e.Go("writer", func(c *Ctx) {
+		wg1.Wait(c)
+		c.Write(0x2000, 8)
+		wg2.Done(c)
+	})
+	e.Run()
+	if missesAfter != missesBefore+1 {
+		t.Fatalf("misses before=%d after=%d; remote write did not invalidate", missesBefore, missesAfter)
+	}
+}
+
+func TestAccessSpanningLines(t *testing.T) {
+	e := New(Config{Processors: 1})
+	e.Go("w", func(c *Ctx) {
+		c.Read(0x1030, 64) // spans two 64-byte lines (0x1000 and 0x1040)
+	})
+	e.Run()
+	if e.Cache().Misses != 2 {
+		t.Fatalf("misses = %d, want 2 for a spanning access", e.Cache().Misses)
+	}
+}
+
+func TestLineSizeConfig(t *testing.T) {
+	e := New(Config{Processors: 1, LineSize: 32})
+	if e.Cache().LineSize() != 32 {
+		t.Fatalf("line size = %d", e.Cache().LineSize())
+	}
+	e.Go("w", func(c *Ctx) {
+		c.Read(0x1000, 8)
+		c.Read(0x1020, 8) // 32 bytes away: different line under 32B lines
+	})
+	e.Run()
+	if e.Cache().Misses != 2 {
+		t.Fatalf("misses = %d, want 2 with 32-byte lines", e.Cache().Misses)
+	}
+}

@@ -1,0 +1,150 @@
+package sim
+
+import "testing"
+
+func TestChannelFIFO(t *testing.T) {
+	e := New(Config{Processors: 2})
+	ch := e.NewChannel("c", 4)
+	var got []int
+	e.Go("producer", func(c *Ctx) {
+		for i := 0; i < 6; i++ {
+			ch.Send(c, i)
+			c.Advance(10)
+		}
+		ch.Close(c)
+	})
+	e.Go("consumer", func(c *Ctx) {
+		for {
+			v, ok := ch.Recv(c)
+			if !ok {
+				return
+			}
+			got = append(got, v.(int))
+			c.Advance(25)
+		}
+	})
+	e.Run()
+	if len(got) != 6 {
+		t.Fatalf("received %d values, want 6", len(got))
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("order broken: %v", got)
+		}
+	}
+}
+
+func TestChannelBackpressure(t *testing.T) {
+	e := New(Config{Processors: 2})
+	ch := e.NewChannel("c", 1)
+	e.Go("producer", func(c *Ctx) {
+		for i := 0; i < 5; i++ {
+			ch.Send(c, i)
+		}
+		ch.Close(c)
+	})
+	e.Go("consumer", func(c *Ctx) {
+		for {
+			if _, ok := ch.Recv(c); !ok {
+				return
+			}
+			c.Advance(5000) // slow consumer
+		}
+	})
+	e.Run()
+	if ch.BlockedSends == 0 {
+		t.Error("fast producer never blocked on slow consumer")
+	}
+	if ch.Sends != 5 || ch.Recvs != 5 {
+		t.Errorf("sends/recvs = %d/%d", ch.Sends, ch.Recvs)
+	}
+}
+
+func TestChannelMultipleConsumers(t *testing.T) {
+	e := New(Config{Processors: 4})
+	ch := e.NewChannel("c", 2)
+	var total int
+	e.Go("producer", func(c *Ctx) {
+		for i := 0; i < 30; i++ {
+			ch.Send(c, 1)
+		}
+		ch.Close(c)
+	})
+	for k := 0; k < 3; k++ {
+		e.Go("consumer", func(c *Ctx) {
+			for {
+				v, ok := ch.Recv(c)
+				if !ok {
+					return
+				}
+				total += v.(int)
+				c.Advance(100)
+			}
+		})
+	}
+	e.Run()
+	if total != 30 {
+		t.Fatalf("total = %d, want 30 (every item consumed exactly once)", total)
+	}
+}
+
+func TestChannelCloseWakesReceivers(t *testing.T) {
+	e := New(Config{Processors: 2})
+	ch := e.NewChannel("c", 1)
+	doneOK := true
+	e.Go("consumer", func(c *Ctx) {
+		_, ok := ch.Recv(c)
+		doneOK = ok
+	})
+	e.Go("closer", func(c *Ctx) {
+		c.Advance(1000)
+		ch.Close(c)
+	})
+	e.Run()
+	if doneOK {
+		t.Error("Recv on closed empty channel returned ok")
+	}
+}
+
+func TestSendOnClosedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	e := New(Config{Processors: 1})
+	ch := e.NewChannel("c", 1)
+	e.Go("w", func(c *Ctx) {
+		ch.Close(c)
+		ch.Send(c, 1)
+	})
+	e.Run()
+}
+
+func TestChannelDeterministic(t *testing.T) {
+	run := func() int64 {
+		e := New(Config{Processors: 4})
+		ch := e.NewChannel("c", 3)
+		e.Go("p", func(c *Ctx) {
+			for i := 0; i < 50; i++ {
+				ch.Send(c, i)
+				c.Advance(13)
+			}
+			ch.Close(c)
+		})
+		for k := 0; k < 2; k++ {
+			e.Go("c", func(c *Ctx) {
+				for {
+					if _, ok := ch.Recv(c); !ok {
+						return
+					}
+					c.Advance(31)
+				}
+			})
+		}
+		return e.Run()
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("non-deterministic: %d vs %d", a, b)
+	}
+}

@@ -1,0 +1,238 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+)
+
+// Config parameterizes the simulated machine.
+type Config struct {
+	// Processors is the number of CPUs (the paper's machines had 8).
+	Processors int
+	// MigrationPeriod is the virtual-time interval after which threads
+	// rotate between processors when the machine is oversubscribed.
+	MigrationPeriod int64
+	// LineSize is the cache-line size in bytes (power of two).
+	LineSize int64
+	// Cost prices the primitive events; zero value means DefaultCost.
+	Cost CostModel
+	// Exact disables the lease optimization so that every engine call
+	// yields to the scheduler. Used by tests to validate that leases do
+	// not change results beyond cache-batching noise.
+	Exact bool
+	// Tracer, when non-nil, receives simulation events (thread
+	// lifecycle, lock traffic, migrations).
+	Tracer Tracer
+}
+
+func (c Config) withDefaults() Config {
+	if c.Processors <= 0 {
+		c.Processors = 8
+	}
+	if c.MigrationPeriod <= 0 {
+		c.MigrationPeriod = 200_000
+	}
+	if c.LineSize <= 0 {
+		c.LineSize = 64
+	}
+	if c.Cost == (CostModel{}) {
+		c.Cost = DefaultCost()
+	}
+	return c
+}
+
+// Engine is a deterministic discrete-event SMP simulator. Create one
+// with New, add threads with Go, then call Run.
+type Engine struct {
+	cfg     Config
+	cost    CostModel
+	cache   *Cache
+	threads []*Thread
+
+	live    int // threads not yet done
+	running int // threads ready or running (demanding a processor)
+
+	yieldCh          chan struct{}
+	started          bool
+	threadPanic      any
+	threadPanicStack []byte
+	tracer           Tracer
+
+	// Mutexes registers every mutex created on this engine so that Run
+	// can report per-lock statistics and deadlocks can be diagnosed.
+	mutexes []*Mutex
+}
+
+// New returns an engine for the given configuration.
+func New(cfg Config) *Engine {
+	cfg = cfg.withDefaults()
+	e := &Engine{
+		cfg:     cfg,
+		cost:    cfg.Cost,
+		yieldCh: make(chan struct{}),
+		tracer:  cfg.Tracer,
+	}
+	e.cache = newCache(cfg.Processors, cfg.LineSize, &e.cost)
+	return e
+}
+
+// Processors reports the number of simulated CPUs.
+func (e *Engine) Processors() int { return e.cfg.Processors }
+
+// Cost returns the engine's cost model.
+func (e *Engine) Cost() CostModel { return e.cost }
+
+// Cache returns the engine's cache model (for statistics).
+func (e *Engine) Cache() *Cache { return e.cache }
+
+// Threads returns all threads ever created on the engine.
+func (e *Engine) Threads() []*Thread { return e.threads }
+
+// Mutexes returns every mutex created on the engine.
+func (e *Engine) Mutexes() []*Mutex { return e.mutexes }
+
+func (e *Engine) newThread(name string, fn func(*Ctx)) *Thread {
+	t := &Thread{
+		e:       e,
+		slot:    len(e.threads),
+		name:    name,
+		fn:      fn,
+		state:   stateNew,
+		resume:  make(chan struct{}),
+		lastCPU: -1,
+	}
+	t.lastCPU = t.slot % e.cfg.Processors
+	e.threads = append(e.threads, t)
+	return t
+}
+
+// Go registers a thread to start at time zero. It must be called before
+// Run; threads spawned during the run use Ctx.Go.
+func (e *Engine) Go(name string, fn func(*Ctx)) *Thread {
+	if e.started {
+		panic("sim: Engine.Go after Run; use Ctx.Go from inside the simulation")
+	}
+	t := e.newThread(name, fn)
+	t.state = stateReady
+	return t
+}
+
+// Run executes the simulation until every thread completes and returns
+// the makespan (the largest completion time). It panics on deadlock,
+// printing the lock graph.
+func (e *Engine) Run() int64 {
+	if e.started {
+		panic("sim: Run called twice")
+	}
+	e.started = true
+	for _, t := range e.threads {
+		if t.state == stateReady {
+			e.live++
+			e.running++
+			e.trace(t, EvThreadStart, t.name)
+			go t.run()
+		}
+	}
+	for e.live > 0 {
+		t, lease := e.pickMin()
+		if t == nil {
+			panic(e.deadlockReport())
+		}
+		t.state = stateRunning
+		if e.cfg.Exact {
+			t.lease = math.MinInt64 // always yield
+		} else {
+			t.lease = lease
+		}
+		t.resume <- struct{}{}
+		<-e.yieldCh
+		if e.threadPanic != nil {
+			// Re-raise on the caller's goroutine. Go runtime errors
+			// (nil derefs, index range) would otherwise lose the stack
+			// of the simulated thread in the hop, so attach it; typed
+			// panic values pass through untouched so callers can
+			// recover their own sentinels.
+			if _, isRuntime := e.threadPanic.(runtime.Error); isRuntime {
+				panic(fmt.Sprintf("%v\n\n[simulated-thread stack]\n%s", e.threadPanic, e.threadPanicStack))
+			}
+			panic(e.threadPanic)
+		}
+	}
+	return e.Makespan()
+}
+
+// pickMin selects the ready thread with the smallest clock (ties broken
+// by slot) and the clock of the runner-up, which bounds the winner's
+// lease.
+func (e *Engine) pickMin() (*Thread, int64) {
+	var best *Thread
+	second := int64(math.MaxInt64)
+	for _, t := range e.threads {
+		if t.state != stateReady {
+			continue
+		}
+		if best == nil || t.clock < best.clock {
+			if best != nil {
+				second = best.clock
+			}
+			best = t
+		} else if t.clock < second {
+			second = t.clock
+		}
+	}
+	return best, second
+}
+
+// Makespan reports the largest thread completion time seen so far.
+func (e *Engine) Makespan() int64 {
+	var m int64
+	for _, t := range e.threads {
+		if t.clock > m {
+			m = t.clock
+		}
+	}
+	return m
+}
+
+func (e *Engine) deadlockReport() string {
+	s := "sim: deadlock — no runnable thread\n"
+	for _, t := range e.threads {
+		s += fmt.Sprintf("  thread %d %q state=%d clock=%d\n", t.slot, t.name, t.state, t.clock)
+	}
+	for _, m := range e.mutexes {
+		if m.owner != nil {
+			s += fmt.Sprintf("  mutex %q held by %d with %d waiters\n", m.name, m.owner.slot, len(m.waiters))
+		}
+	}
+	return s
+}
+
+// Stats aggregates engine-wide counters after (or during) a run.
+type Stats struct {
+	Makespan      int64
+	LockAcquires  int64
+	LockContended int64
+	LockWaitTime  int64
+	CacheHits     int64
+	CacheMisses   int64
+	CacheRFOs     int64
+	Migrations    int64
+}
+
+// Stats returns aggregate statistics across all threads.
+func (e *Engine) Stats() Stats {
+	st := Stats{
+		Makespan:    e.Makespan(),
+		CacheHits:   e.cache.Hits,
+		CacheMisses: e.cache.Misses,
+		CacheRFOs:   e.cache.RFOs,
+	}
+	for _, t := range e.threads {
+		st.LockAcquires += t.LockAcquires
+		st.LockContended += t.LockContended
+		st.LockWaitTime += t.LockWaitTime
+		st.Migrations += t.Migrations
+	}
+	return st
+}

@@ -1,0 +1,318 @@
+package sim
+
+import (
+	"testing"
+)
+
+func testConfig(p int) Config {
+	return Config{Processors: p}
+}
+
+func TestSingleThreadAdvance(t *testing.T) {
+	e := New(testConfig(4))
+	e.Go("w", func(c *Ctx) {
+		c.Advance(1000)
+		c.Advance(500)
+	})
+	got := e.Run()
+	if got != 1500 {
+		t.Fatalf("makespan = %d, want 1500", got)
+	}
+}
+
+func TestIndependentThreadsRunInParallel(t *testing.T) {
+	e := New(testConfig(4))
+	for i := 0; i < 4; i++ {
+		e.Go("w", func(c *Ctx) { c.Advance(1000) })
+	}
+	if got := e.Run(); got != 1000 {
+		t.Fatalf("makespan = %d, want 1000 (4 threads on 4 CPUs)", got)
+	}
+}
+
+func TestProcessorSharingDilation(t *testing.T) {
+	e := New(testConfig(1))
+	for i := 0; i < 2; i++ {
+		e.Go("w", func(c *Ctx) {
+			for j := 0; j < 10; j++ {
+				c.Advance(100)
+			}
+		})
+	}
+	got := e.Run()
+	// Two CPU-bound threads on one processor: each takes ~2x as long.
+	if got < 1900 || got > 2500 {
+		t.Fatalf("makespan = %d, want ~2000", got)
+	}
+}
+
+func TestMutexSerializes(t *testing.T) {
+	e := New(testConfig(8))
+	m := e.NewMutex("m")
+	for i := 0; i < 4; i++ {
+		e.Go("w", func(c *Ctx) {
+			m.Lock(c)
+			c.Advance(1000)
+			m.Unlock(c)
+		})
+	}
+	got := e.Run()
+	if got < 4000 {
+		t.Fatalf("makespan = %d, want >= 4000 (critical sections serialize)", got)
+	}
+	if m.Contended != 3 {
+		t.Fatalf("contended = %d, want 3", m.Contended)
+	}
+	if m.Acquires != 4 {
+		t.Fatalf("acquires = %d, want 4", m.Acquires)
+	}
+}
+
+func TestMutexFIFOHandoff(t *testing.T) {
+	e := New(testConfig(8))
+	m := e.NewMutex("m")
+	var order []int
+	for i := 0; i < 4; i++ {
+		e.Go("w", func(c *Ctx) {
+			c.Advance(int64(10 * (c.ThreadID() + 1))) // stagger arrivals
+			m.Lock(c)
+			order = append(order, c.ThreadID())
+			c.Advance(1000)
+			m.Unlock(c)
+		})
+	}
+	e.Run()
+	for i, id := range order {
+		if id != i {
+			t.Fatalf("acquisition order = %v, want FIFO by arrival", order)
+		}
+	}
+}
+
+func TestTryLock(t *testing.T) {
+	e := New(testConfig(8))
+	m := e.NewMutex("m")
+	var gotLock, failed bool
+	e.Go("holder", func(c *Ctx) {
+		m.Lock(c)
+		c.Advance(10_000)
+		m.Unlock(c)
+	})
+	e.Go("poker", func(c *Ctx) {
+		c.Advance(100) // arrive while holder owns the lock
+		failed = !m.TryLock(c)
+		c.Advance(20_000)
+		gotLock = m.TryLock(c)
+		if gotLock {
+			m.Unlock(c)
+		}
+	})
+	e.Run()
+	if !failed {
+		t.Error("TryLock should fail while lock held")
+	}
+	if !gotLock {
+		t.Error("TryLock should succeed after release")
+	}
+	if m.FailedTry != 1 {
+		t.Errorf("FailedTry = %d, want 1", m.FailedTry)
+	}
+}
+
+func TestUnlockNotOwnerPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic from foreign unlock")
+		}
+	}()
+	e := New(testConfig(2))
+	m := e.NewMutex("m")
+	e.Go("w", func(c *Ctx) { m.Unlock(c) })
+	e.Run()
+}
+
+func TestCacheHitsAndMisses(t *testing.T) {
+	e := New(testConfig(2))
+	e.Go("w", func(c *Ctx) {
+		c.Read(0x1000, 8) // cold: miss
+		c.Read(0x1000, 8) // hit
+		c.Read(0x1004, 4) // same line: hit
+		c.Write(0x1000, 8)
+		c.Read(0x1040, 8) // next line: miss
+	})
+	e.Run()
+	th := e.Threads()[0]
+	if th.CacheMisses != 2 {
+		t.Errorf("misses = %d, want 2", th.CacheMisses)
+	}
+	if th.CacheHits != 3 {
+		t.Errorf("hits = %d, want 3", th.CacheHits)
+	}
+}
+
+func TestFalseSharingCostsMore(t *testing.T) {
+	run := func(stride uint64) int64 {
+		e := New(testConfig(2))
+		for i := 0; i < 2; i++ {
+			addr := 0x1000 + uint64(i)*stride
+			e.Go("w", func(c *Ctx) {
+				for j := 0; j < 200; j++ {
+					c.Write(addr, 8)
+				}
+			})
+		}
+		return e.Run()
+	}
+	sameLine := run(8)    // both threads write the same 64-byte line
+	separate := run(4096) // disjoint lines
+	if sameLine <= 2*separate {
+		t.Fatalf("false sharing run = %d, separate = %d; want sharing to be much slower", sameLine, separate)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() int64 {
+		e := New(testConfig(4))
+		m := e.NewMutex("m")
+		for i := 0; i < 6; i++ {
+			e.Go("w", func(c *Ctx) {
+				for j := 0; j < 50; j++ {
+					m.Lock(c)
+					c.Advance(17)
+					c.Write(uint64(0x2000+8*c.ThreadID()), 8)
+					m.Unlock(c)
+					c.Advance(91)
+				}
+			})
+		}
+		return e.Run()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("non-deterministic makespans: %d vs %d", a, b)
+	}
+}
+
+func TestExactModeMatchesLeaseMode(t *testing.T) {
+	run := func(exact bool) int64 {
+		cfg := testConfig(4)
+		cfg.Exact = exact
+		e := New(cfg)
+		m := e.NewMutex("m")
+		for i := 0; i < 5; i++ {
+			e.Go("w", func(c *Ctx) {
+				for j := 0; j < 40; j++ {
+					m.Lock(c)
+					c.Advance(23)
+					m.Unlock(c)
+					c.Advance(101)
+				}
+			})
+		}
+		return e.Run()
+	}
+	lease, exact := run(false), run(true)
+	if lease != exact {
+		t.Fatalf("lease mode makespan %d != exact mode %d", lease, exact)
+	}
+}
+
+func TestSpawnAndWaitGroup(t *testing.T) {
+	e := New(testConfig(4))
+	wg := e.NewWaitGroup()
+	wg.Add(3)
+	var children int
+	e.Go("main", func(c *Ctx) {
+		for i := 0; i < 3; i++ {
+			c.Go("child", func(cc *Ctx) {
+				cc.Advance(500)
+				children++
+				wg.Done(cc)
+			})
+		}
+		wg.Wait(c)
+		if children != 3 {
+			t.Errorf("children done = %d before Wait returned", children)
+		}
+	})
+	e.Run()
+	if children != 3 {
+		t.Fatalf("children = %d, want 3", children)
+	}
+}
+
+func TestMigrationWhenOversubscribed(t *testing.T) {
+	cfg := testConfig(2)
+	cfg.MigrationPeriod = 1000
+	e := New(cfg)
+	for i := 0; i < 4; i++ { // 4 threads, 2 CPUs
+		e.Go("w", func(c *Ctx) {
+			for j := 0; j < 100; j++ {
+				c.Advance(100)
+			}
+		})
+	}
+	e.Run()
+	var migs int64
+	for _, th := range e.Threads() {
+		migs += th.Migrations
+	}
+	if migs == 0 {
+		t.Fatal("expected migrations with threads > processors")
+	}
+}
+
+func TestNoMigrationWhenUndersubscribed(t *testing.T) {
+	cfg := testConfig(4)
+	cfg.MigrationPeriod = 100
+	e := New(cfg)
+	for i := 0; i < 4; i++ {
+		e.Go("w", func(c *Ctx) {
+			for j := 0; j < 100; j++ {
+				c.Advance(100)
+			}
+		})
+	}
+	e.Run()
+	for _, th := range e.Threads() {
+		if th.Migrations != 0 {
+			t.Fatalf("thread %d migrated %d times with T == P", th.Slot(), th.Migrations)
+		}
+	}
+}
+
+func TestStatsAggregation(t *testing.T) {
+	e := New(testConfig(2))
+	m := e.NewMutex("m")
+	for i := 0; i < 2; i++ {
+		e.Go("w", func(c *Ctx) {
+			m.Lock(c)
+			c.Advance(100)
+			c.Write(0x100, 8)
+			m.Unlock(c)
+		})
+	}
+	e.Run()
+	st := e.Stats()
+	if st.LockAcquires != 2 {
+		t.Errorf("LockAcquires = %d, want 2", st.LockAcquires)
+	}
+	if st.Makespan == 0 {
+		t.Error("Makespan = 0")
+	}
+	if st.CacheMisses == 0 {
+		t.Error("CacheMisses = 0")
+	}
+}
+
+func TestRunTwicePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on second Run")
+		}
+	}()
+	e := New(testConfig(1))
+	e.Go("w", func(c *Ctx) { c.Advance(1) })
+	e.Run()
+	e.Run()
+}

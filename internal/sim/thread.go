@@ -1,0 +1,198 @@
+package sim
+
+import (
+	"fmt"
+	"runtime/debug"
+)
+
+// threadState tracks where a thread is in its lifecycle.
+type threadState int8
+
+const (
+	stateNew threadState = iota
+	stateReady
+	stateRunning
+	stateBlocked
+	stateDone
+)
+
+// Thread is one simulated thread of execution. All fields are maintained
+// by the engine; workload code interacts with a thread only through the
+// *Ctx passed to its function.
+type Thread struct {
+	e     *Engine
+	slot  int
+	name  string
+	fn    func(*Ctx)
+	state threadState
+
+	// clock is the thread's virtual time: the moment its next action
+	// begins.
+	clock int64
+	// lease is the time up to which the thread may run without yielding
+	// back to the scheduler (see package comment).
+	lease int64
+	// lastCPU is the processor the thread most recently ran on, used to
+	// charge migration costs.
+	lastCPU int
+
+	resume chan struct{}
+
+	// Per-thread statistics.
+	LockAcquires  int64 // total successful mutex acquisitions
+	LockContended int64 // acquisitions that had to wait
+	LockWaitTime  int64 // virtual cycles spent waiting for mutexes
+	CacheHits     int64
+	CacheMisses   int64
+	Migrations    int64
+}
+
+// Name reports the thread's name.
+func (t *Thread) Name() string { return t.name }
+
+// Slot reports the thread's creation index, which also determines its
+// home processor (slot mod P).
+func (t *Thread) Slot() int { return t.slot }
+
+// Clock reports the thread's current virtual time. After Engine.Run it
+// is the thread's completion time.
+func (t *Thread) Clock() int64 { return t.clock }
+
+// advance moves the thread's clock forward by cycles, dilated by the
+// processor-sharing factor when more threads are runnable than there are
+// processors, and charges migration when the processor assignment
+// changed since the last advance.
+func (t *Thread) advance(cycles int64) {
+	e := t.e
+	if r := int64(e.running); r > int64(e.cfg.Processors) {
+		cycles = cycles * r / int64(e.cfg.Processors)
+	}
+	t.clock += cycles
+	cpu := t.cpu()
+	if cpu != t.lastCPU {
+		t.lastCPU = cpu
+		t.Migrations++
+		t.clock += e.cost.Migration
+		e.trace(t, EvMigrate, "")
+	}
+}
+
+// cpu computes the processor the thread currently runs on. With at most
+// P live threads every thread stays on its home processor; with more,
+// threads rotate across processors every MigrationPeriod of virtual
+// time, modelling the OS spreading an oversubscribed run queue.
+func (t *Thread) cpu() int {
+	e := t.e
+	p := e.cfg.Processors
+	if e.live <= p {
+		return t.slot % p
+	}
+	epoch := t.clock / e.cfg.MigrationPeriod
+	return int((int64(t.slot) + epoch) % int64(p))
+}
+
+// yield hands the baton back to the scheduler and parks until resumed.
+func (t *Thread) yield() {
+	t.e.yieldCh <- struct{}{}
+	<-t.resume
+}
+
+// maybeYield yields only when the thread's lease has expired.
+func (t *Thread) maybeYield() {
+	if t.clock >= t.lease {
+		t.state = stateReady
+		t.yield()
+	}
+}
+
+// run is the goroutine body wrapping the thread function. Panics are
+// captured and re-raised from Engine.Run on the caller's goroutine.
+func (t *Thread) run() {
+	<-t.resume
+	defer func() {
+		if r := recover(); r != nil {
+			t.e.threadPanic = r
+			t.e.threadPanicStack = debug.Stack()
+		}
+		t.state = stateDone
+		t.e.live--
+		t.e.running--
+		t.e.trace(t, EvThreadDone, t.name)
+		t.e.yieldCh <- struct{}{}
+	}()
+	ctx := &Ctx{t: t}
+	t.fn(ctx)
+}
+
+// Ctx is the execution context handed to a thread function. It is valid
+// only inside that function and must not be shared with other threads.
+type Ctx struct {
+	t *Thread
+}
+
+// Engine returns the engine the thread runs on.
+func (c *Ctx) Engine() *Engine { return c.t.e }
+
+// Thread returns the underlying thread (for reading statistics).
+func (c *Ctx) Thread() *Thread { return c.t }
+
+// Now reports the thread's current virtual time.
+func (c *Ctx) Now() int64 { return c.t.clock }
+
+// CPU reports the processor the thread currently runs on.
+func (c *Ctx) CPU() int { return c.t.cpu() }
+
+// ThreadID reports the thread's slot index.
+func (c *Ctx) ThreadID() int { return c.t.slot }
+
+// Advance charges the thread cycles of pure computation.
+func (c *Ctx) Advance(cycles int64) {
+	if cycles < 0 {
+		panic(fmt.Sprintf("sim: negative advance %d", cycles))
+	}
+	c.t.advance(cycles)
+	c.t.maybeYield()
+}
+
+// Work charges n generic operations (n times CostModel.Op).
+func (c *Ctx) Work(n int64) {
+	c.Advance(n * c.t.e.cost.Op)
+}
+
+// Read charges a load of size bytes at addr through the cache model.
+func (c *Ctx) Read(addr uint64, size int64) {
+	c.t.e.cache.access(c.t, c.t.cpu(), addr, size, false)
+	c.t.maybeYield()
+}
+
+// Write charges a store of size bytes at addr through the cache model.
+func (c *Ctx) Write(addr uint64, size int64) {
+	c.t.e.cache.access(c.t, c.t.cpu(), addr, size, true)
+	c.t.maybeYield()
+}
+
+// Sbrk charges the cost of extending the address space.
+func (c *Ctx) Sbrk() {
+	c.t.advance(c.t.e.cost.Sbrk)
+	c.t.maybeYield()
+}
+
+// Go spawns a new thread from inside the simulation. The child starts at
+// the parent's current time plus the spawn cost.
+func (c *Ctx) Go(name string, fn func(*Ctx)) *Thread {
+	t := c.t
+	t.advance(t.e.cost.Spawn)
+	nt := t.e.newThread(name, fn)
+	nt.clock = t.clock
+	nt.state = stateReady
+	t.e.live++
+	t.e.running++
+	t.e.trace(t, EvSpawn, name)
+	t.e.trace(nt, EvThreadStart, name)
+	go nt.run()
+	if nt.clock < t.lease {
+		t.lease = nt.clock
+	}
+	t.maybeYield()
+	return nt
+}

@@ -1,0 +1,101 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+)
+
+// EventKind classifies trace events.
+type EventKind int8
+
+// Event kinds.
+const (
+	EvThreadStart EventKind = iota
+	EvThreadDone
+	EvSpawn
+	EvLockAcquire
+	EvLockContended
+	EvLockRelease
+	EvMigrate
+)
+
+var eventNames = map[EventKind]string{
+	EvThreadStart:   "start",
+	EvThreadDone:    "done",
+	EvSpawn:         "spawn",
+	EvLockAcquire:   "lock",
+	EvLockContended: "lock-wait",
+	EvLockRelease:   "unlock",
+	EvMigrate:       "migrate",
+}
+
+// String names the kind.
+func (k EventKind) String() string {
+	if s, ok := eventNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("EventKind(%d)", int(k))
+}
+
+// Event is one simulation occurrence.
+type Event struct {
+	Time   int64
+	Thread int
+	CPU    int
+	Kind   EventKind
+	Detail string
+}
+
+// Tracer receives events as they happen. Implementations must be cheap;
+// the engine calls them synchronously. A nil tracer costs one branch.
+type Tracer interface {
+	Event(Event)
+}
+
+// Recorder is a bounded in-memory Tracer.
+type Recorder struct {
+	// Max bounds the number of retained events; zero means 100000.
+	// Recording stops (and Dropped counts) beyond the bound.
+	Max     int
+	Events  []Event
+	Dropped int64
+}
+
+// Event implements Tracer.
+func (r *Recorder) Event(e Event) {
+	limit := r.Max
+	if limit <= 0 {
+		limit = 100_000
+	}
+	if len(r.Events) >= limit {
+		r.Dropped++
+		return
+	}
+	r.Events = append(r.Events, e)
+}
+
+// Timeline renders the recorded events as one line each.
+func (r *Recorder) Timeline() string {
+	var b strings.Builder
+	for _, e := range r.Events {
+		fmt.Fprintf(&b, "%12d  t%-3d cpu%-2d %-9s %s\n", e.Time, e.Thread, e.CPU, e.Kind, e.Detail)
+	}
+	if r.Dropped > 0 {
+		fmt.Fprintf(&b, "(%d further events dropped)\n", r.Dropped)
+	}
+	return b.String()
+}
+
+// trace emits an event if tracing is enabled.
+func (e *Engine) trace(t *Thread, kind EventKind, detail string) {
+	if e.tracer == nil {
+		return
+	}
+	e.tracer.Event(Event{
+		Time:   t.clock,
+		Thread: t.slot,
+		CPU:    t.lastCPU,
+		Kind:   kind,
+		Detail: detail,
+	})
+}

@@ -1,0 +1,103 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTracerRecordsLifecycleAndLocks(t *testing.T) {
+	rec := &Recorder{}
+	cfg := Config{Processors: 2, Tracer: rec}
+	e := New(cfg)
+	m := e.NewMutex("m")
+	e.Go("a", func(c *Ctx) {
+		m.Lock(c)
+		c.Advance(1000)
+		m.Unlock(c)
+	})
+	e.Go("b", func(c *Ctx) {
+		m.Lock(c)
+		c.Advance(10)
+		m.Unlock(c)
+	})
+	e.Run()
+
+	counts := map[EventKind]int{}
+	for _, ev := range rec.Events {
+		counts[ev.Kind]++
+	}
+	if counts[EvThreadStart] != 2 || counts[EvThreadDone] != 2 {
+		t.Errorf("lifecycle events = %d/%d, want 2/2", counts[EvThreadStart], counts[EvThreadDone])
+	}
+	if counts[EvLockAcquire] != 2 || counts[EvLockRelease] != 2 {
+		t.Errorf("lock events = %d/%d, want 2/2", counts[EvLockAcquire], counts[EvLockRelease])
+	}
+	if counts[EvLockContended] != 1 {
+		t.Errorf("contended events = %d, want 1", counts[EvLockContended])
+	}
+
+	// Event times must be non-decreasing per thread.
+	last := map[int]int64{}
+	for _, ev := range rec.Events {
+		if ev.Time < last[ev.Thread] {
+			t.Fatalf("time went backwards for thread %d: %d after %d", ev.Thread, ev.Time, last[ev.Thread])
+		}
+		last[ev.Thread] = ev.Time
+	}
+
+	tl := rec.Timeline()
+	for _, want := range []string{"start", "lock", "lock-wait", "unlock", "done", "m"} {
+		if !strings.Contains(tl, want) {
+			t.Errorf("timeline missing %q:\n%s", want, tl)
+		}
+	}
+}
+
+func TestRecorderBound(t *testing.T) {
+	rec := &Recorder{Max: 3}
+	e := New(Config{Processors: 1, Tracer: rec})
+	m := e.NewMutex("m")
+	e.Go("w", func(c *Ctx) {
+		for i := 0; i < 10; i++ {
+			m.Lock(c)
+			m.Unlock(c)
+		}
+	})
+	e.Run()
+	if len(rec.Events) != 3 {
+		t.Errorf("events = %d, want 3 (bounded)", len(rec.Events))
+	}
+	if rec.Dropped == 0 {
+		t.Error("no drops counted")
+	}
+	if !strings.Contains(rec.Timeline(), "dropped") {
+		t.Error("timeline does not mention drops")
+	}
+}
+
+func TestSpawnTraced(t *testing.T) {
+	rec := &Recorder{}
+	e := New(Config{Processors: 2, Tracer: rec})
+	e.Go("main", func(c *Ctx) {
+		c.Go("child", func(cc *Ctx) { cc.Advance(10) })
+	})
+	e.Run()
+	var sawSpawn bool
+	for _, ev := range rec.Events {
+		if ev.Kind == EvSpawn && ev.Detail == "child" {
+			sawSpawn = true
+		}
+	}
+	if !sawSpawn {
+		t.Error("spawn not traced")
+	}
+}
+
+func TestNoTracerNoOverheadPath(t *testing.T) {
+	// Just exercises the nil-tracer branch for coverage/sanity.
+	e := New(Config{Processors: 1})
+	e.Go("w", func(c *Ctx) { c.Advance(5) })
+	if e.Run() != 5 {
+		t.Fatal("bad makespan")
+	}
+}

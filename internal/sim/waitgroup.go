@@ -1,0 +1,59 @@
+package sim
+
+// WaitGroup is a virtual-time analogue of sync.WaitGroup for joining
+// simulated threads.
+type WaitGroup struct {
+	e       *Engine
+	count   int
+	waiters []*Thread
+}
+
+// NewWaitGroup creates a WaitGroup on the engine.
+func (e *Engine) NewWaitGroup() *WaitGroup {
+	return &WaitGroup{e: e}
+}
+
+// Add increments the counter by n. It may be called from outside the
+// simulation (before Run) or by a running thread.
+func (wg *WaitGroup) Add(n int) {
+	wg.count += n
+	if wg.count < 0 {
+		panic("sim: negative WaitGroup counter")
+	}
+}
+
+// Done decrements the counter; when it reaches zero all waiters resume
+// at the caller's current time.
+func (wg *WaitGroup) Done(c *Ctx) {
+	wg.count--
+	if wg.count < 0 {
+		panic("sim: negative WaitGroup counter")
+	}
+	if wg.count > 0 {
+		return
+	}
+	t := c.t
+	for _, w := range wg.waiters {
+		if t.clock > w.clock {
+			w.clock = t.clock
+		}
+		w.state = stateReady
+		t.e.running++
+		if w.clock < t.lease {
+			t.lease = w.clock
+		}
+	}
+	wg.waiters = wg.waiters[:0]
+}
+
+// Wait blocks the calling thread until the counter reaches zero.
+func (wg *WaitGroup) Wait(c *Ctx) {
+	if wg.count == 0 {
+		return
+	}
+	t := c.t
+	wg.waiters = append(wg.waiters, t)
+	t.state = stateBlocked
+	t.e.running--
+	t.yield()
+}

@@ -1,0 +1,189 @@
+// Package smartheap is the stand-in for MicroQuill's closed-source
+// "SmartHeap for SMP", which §5.2 and Figure 11 of the paper use as the
+// parallel allocator underneath BGw. Its internals were unavailable to
+// the paper's authors too; what matters for the experiment is a scalable
+// allocator built around per-thread caches: small allocations are served
+// lock-free from a per-thread free-list cache that is refilled from (and
+// flushed to) a shared locked heap in batches.
+package smartheap
+
+import (
+	"fmt"
+
+	"amplify/internal/alloc"
+	"amplify/internal/heapcore"
+	"amplify/internal/mem"
+	"amplify/internal/sim"
+)
+
+const (
+	// PathOps is charged on every cached (lock-free) operation.
+	PathOps = 12
+	// CacheCap is the per-class capacity of a thread cache.
+	CacheCap = 32
+	// BatchSize is how many blocks move between a thread cache and the
+	// shared heap on refill or flush.
+	BatchSize = 16
+	// MaxCached is the largest class served by thread caches.
+	MaxCached = 1024
+)
+
+type class struct{ size int64 }
+
+type threadCache struct {
+	// lists[class] holds cached free blocks.
+	lists [][]mem.Ref
+	// metaBase gives each cache private metadata lines.
+	metaBase mem.Ref
+}
+
+// Allocator is the SmartHeap-like per-thread cache allocator.
+type Allocator struct {
+	e       *sim.Engine
+	sp      *mem.Space
+	classes []class
+	shared  *heapcore.Heap
+	lock    *sim.Mutex
+	caches  map[int]*threadCache
+	sizeOf  map[mem.Ref]int64
+	stats   alloc.Stats
+}
+
+// New creates the allocator.
+func New(e *sim.Engine, sp *mem.Space) *Allocator {
+	shared := heapcore.New(sp, heapcore.Config{PathOps: 35})
+	a := &Allocator{
+		e:      e,
+		sp:     sp,
+		shared: shared,
+		lock:   e.NewMutexAt("smartheap.shared", uint64(shared.MetaBase())+heapcore.LockOffset),
+		caches: make(map[int]*threadCache),
+		sizeOf: make(map[mem.Ref]int64),
+	}
+	for s := int64(16); s <= MaxCached; s *= 2 {
+		a.classes = append(a.classes, class{size: s})
+	}
+	return a
+}
+
+func init() {
+	alloc.Register("smartheap", func(e *sim.Engine, sp *mem.Space, _ alloc.Options) alloc.Allocator {
+		return New(e, sp)
+	})
+}
+
+// Name implements alloc.Allocator.
+func (a *Allocator) Name() string { return "smartheap" }
+
+func (a *Allocator) classFor(size int64) int {
+	for i, cl := range a.classes {
+		if size <= cl.size {
+			return i
+		}
+	}
+	return -1
+}
+
+func (a *Allocator) cacheFor(tid int) *threadCache {
+	tc, ok := a.caches[tid]
+	if !ok {
+		tc = &threadCache{
+			lists:    make([][]mem.Ref, len(a.classes)),
+			metaBase: a.sp.Sbrk(nil, mem.PageSize),
+		}
+		a.caches[tid] = tc
+	}
+	return tc
+}
+
+// Alloc implements alloc.Allocator.
+func (a *Allocator) Alloc(c *sim.Ctx, size int64) mem.Ref {
+	ci := a.classFor(size)
+	if ci < 0 {
+		// Large: straight to the shared heap.
+		a.lock.Lock(c)
+		ref := a.shared.Alloc(c, size)
+		usable := a.shared.UsableSize(ref)
+		a.sizeOf[ref] = usable
+		a.stats.Count(usable)
+		a.lock.Unlock(c)
+		return ref
+	}
+	c.Work(PathOps)
+	tc := a.cacheFor(c.ThreadID())
+	listAddr := uint64(tc.metaBase) + uint64(8*ci)
+	c.Read(listAddr, 8)
+	if len(tc.lists[ci]) == 0 {
+		a.refill(c, tc, ci)
+	}
+	last := len(tc.lists[ci]) - 1
+	ref := tc.lists[ci][last]
+	tc.lists[ci] = tc.lists[ci][:last]
+	c.Read(uint64(ref), 8)
+	c.Write(listAddr, 8)
+	a.stats.Count(a.classes[ci].size)
+	return ref
+}
+
+// refill pulls a batch of blocks of class ci from the shared heap.
+func (a *Allocator) refill(c *sim.Ctx, tc *threadCache, ci int) {
+	size := a.classes[ci].size
+	a.lock.Lock(c)
+	for i := 0; i < BatchSize; i++ {
+		ref := a.shared.Alloc(c, size)
+		a.sizeOf[ref] = size
+		tc.lists[ci] = append(tc.lists[ci], ref)
+	}
+	a.lock.Unlock(c)
+}
+
+// Free implements alloc.Allocator. Small blocks go to the calling
+// thread's cache (SmartHeap-style), overflowing in batches to the
+// shared heap.
+func (a *Allocator) Free(c *sim.Ctx, ref mem.Ref) {
+	usable, ok := a.sizeOf[ref]
+	if !ok {
+		panic(fmt.Sprintf("smartheap: Free of unknown block %#x", uint64(ref)))
+	}
+	ci := a.classFor(usable)
+	a.stats.Uncount(usable)
+	if ci < 0 {
+		a.lock.Lock(c)
+		a.shared.Free(c, ref)
+		a.lock.Unlock(c)
+		return
+	}
+	c.Work(PathOps)
+	tc := a.cacheFor(c.ThreadID())
+	listAddr := uint64(tc.metaBase) + uint64(8*ci)
+	c.Write(uint64(ref), 8)
+	c.Write(listAddr, 8)
+	tc.lists[ci] = append(tc.lists[ci], ref)
+	if len(tc.lists[ci]) > CacheCap {
+		a.flush(c, tc, ci)
+	}
+}
+
+// flush returns a batch of cached blocks to the shared heap.
+func (a *Allocator) flush(c *sim.Ctx, tc *threadCache, ci int) {
+	a.lock.Lock(c)
+	for i := 0; i < BatchSize; i++ {
+		last := len(tc.lists[ci]) - 1
+		ref := tc.lists[ci][last]
+		tc.lists[ci] = tc.lists[ci][:last]
+		a.shared.Free(c, ref)
+	}
+	a.lock.Unlock(c)
+}
+
+// UsableSize implements alloc.Allocator.
+func (a *Allocator) UsableSize(ref mem.Ref) int64 {
+	usable, ok := a.sizeOf[ref]
+	if !ok {
+		panic(fmt.Sprintf("smartheap: UsableSize of unknown block %#x", uint64(ref)))
+	}
+	return usable
+}
+
+// Stats implements alloc.Allocator.
+func (a *Allocator) Stats() alloc.Stats { return a.stats }

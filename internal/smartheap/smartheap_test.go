@@ -1,0 +1,78 @@
+package smartheap
+
+import (
+	"testing"
+
+	"amplify/internal/mem"
+	"amplify/internal/sim"
+)
+
+func TestRefillBatches(t *testing.T) {
+	e := sim.New(sim.Config{Processors: 2})
+	a := New(e, mem.NewSpace())
+	e.Go("w", func(c *sim.Ctx) {
+		// First alloc triggers one batched refill...
+		a.Alloc(c, 16)
+		before := a.lock.Acquires
+		// ...so the next BatchSize-1 allocations must not touch the
+		// shared lock.
+		for i := 0; i < BatchSize-1; i++ {
+			a.Alloc(c, 16)
+		}
+		if a.lock.Acquires != before {
+			t.Errorf("shared lock taken %d times during cached allocs", a.lock.Acquires-before)
+		}
+	})
+	e.Run()
+}
+
+func TestFlushOnOverflow(t *testing.T) {
+	e := sim.New(sim.Config{Processors: 2})
+	a := New(e, mem.NewSpace())
+	e.Go("w", func(c *sim.Ctx) {
+		var refs []mem.Ref
+		for i := 0; i < CacheCap+BatchSize+8; i++ {
+			refs = append(refs, a.Alloc(c, 16))
+		}
+		for _, r := range refs {
+			a.Free(c, r)
+		}
+		tc := a.caches[c.ThreadID()]
+		if len(tc.lists[0]) > CacheCap+1 {
+			t.Errorf("cache holds %d blocks, cap %d", len(tc.lists[0]), CacheCap)
+		}
+	})
+	e.Run()
+}
+
+func TestCachesAreThreadPrivate(t *testing.T) {
+	e := sim.New(sim.Config{Processors: 4})
+	a := New(e, mem.NewSpace())
+	for i := 0; i < 3; i++ {
+		e.Go("w", func(c *sim.Ctx) {
+			r := a.Alloc(c, 32)
+			a.Free(c, r)
+		})
+	}
+	e.Run()
+	if len(a.caches) != 3 {
+		t.Fatalf("caches = %d, want 3", len(a.caches))
+	}
+}
+
+func TestLargeBypassesCache(t *testing.T) {
+	e := sim.New(sim.Config{Processors: 2})
+	a := New(e, mem.NewSpace())
+	e.Go("w", func(c *sim.Ctx) {
+		before := a.lock.Acquires
+		r := a.Alloc(c, MaxCached*4)
+		if a.lock.Acquires == before {
+			t.Error("large allocation did not take the shared lock")
+		}
+		a.Free(c, r)
+	})
+	e.Run()
+	if st := a.Stats(); st.LiveBlocks != 0 {
+		t.Fatalf("leaked: %+v", st)
+	}
+}

@@ -1,0 +1,149 @@
+// Package vm compiles MiniCC programs to bytecode and executes them on
+// the simulated SMP. It is a second, fully independent execution engine
+// next to the tree-walking interpreter (internal/interp): the two share
+// nothing but the front end, the allocators and the pool runtime, so
+// running both over the same program corpus cross-validates evaluation
+// order, scoping, object lifecycle and the Amplify runtime semantics.
+// The VM resolves locals to frame slots at compile time, models a
+// compiled program's tighter per-statement cost, and is the engine a
+// performance-conscious user would pick.
+package vm
+
+import "fmt"
+
+// Op is a bytecode opcode.
+type Op uint8
+
+// Opcodes. Instructions use A (and sometimes B) as immediate operands;
+// the stack effect is noted.
+const (
+	OpNop Op = iota
+	// OpConst pushes constants[A].
+	OpConst
+	// OpNull pushes the null reference.
+	OpNull
+	// OpLoadLocal pushes locals[A]; OpStoreLocal pops into locals[A].
+	OpLoadLocal
+	OpStoreLocal
+	// OpLoadThis pushes the receiver.
+	OpLoadThis
+	// OpLoadField pops an object ref and pushes its field A.
+	// OpStoreField pops a value then an object ref and stores field A.
+	OpLoadField
+	OpStoreField
+	// OpIndexLoad pops index then buffer; pushes element.
+	// OpIndexStore pops value, index, buffer.
+	OpIndexLoad
+	OpIndexStore
+	// Arithmetic/logic: pop two (or one for OpNeg/OpNot), push result.
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv
+	OpMod
+	OpNeg
+	OpNot
+	OpEq
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	// OpJmp jumps to A; OpJmpFalse/OpJmpTrue pop a condition and jump
+	// to A when it is false/true (used for control flow and the
+	// short-circuit operators).
+	OpJmp
+	OpJmpFalse
+	OpJmpTrue
+	// OpDup duplicates the top of stack; OpPop discards it.
+	OpDup
+	OpPop
+	// OpCall invokes function A with B arguments (pushed left to
+	// right); the callee's return value is pushed.
+	OpCall
+	// OpMethod invokes method named names[A] with B arguments on the
+	// receiver pushed before the arguments (dynamic dispatch on the
+	// receiver's class).
+	OpMethod
+	// OpDtor pops a receiver and runs class A's destructor in place
+	// (explicit p->~T() call).
+	OpDtor
+	// OpNew allocates class A and runs its constructor with B popped
+	// arguments; pushes the new reference. OpPlacementNew additionally
+	// pops the placement target (pushed before the arguments).
+	OpNew
+	OpPlacementNew
+	// OpNewArray pops a length and allocates a buffer; A is the element
+	// size in bytes.
+	OpNewArray
+	// OpDelete pops a reference and deletes the object (destructor,
+	// then operator delete or the heap); OpDeleteArray frees a buffer.
+	OpDelete
+	OpDeleteArray
+	// OpRet pops the return value and returns; OpRetVoid returns zero.
+	OpRet
+	OpRetVoid
+	// OpPrint pops A values and prints them space-separated.
+	OpPrint
+	// OpSpawn starts function A on a new thread with B popped
+	// arguments; OpJoin waits for all spawned threads.
+	OpSpawn
+	OpJoin
+	// OpWork charges the popped number of cycles (__work intrinsic).
+	OpWork
+	// OpPoolAlloc pushes a structure from class A's pool; OpPoolFree
+	// pops a reference into class A's pool (__pool_alloc/__pool_free).
+	OpPoolAlloc
+	OpPoolFree
+	// OpRealloc pops size then pointer and pushes the shadow-realloc'd
+	// buffer; OpShadowSave pops a pointer and pushes it back (or null)
+	// per the shadow-retention rule.
+	OpRealloc
+	OpShadowSave
+)
+
+var opNames = [...]string{
+	OpNop: "nop", OpConst: "const", OpNull: "null",
+	OpLoadLocal: "loadl", OpStoreLocal: "storel", OpLoadThis: "this",
+	OpLoadField: "loadf", OpStoreField: "storef",
+	OpIndexLoad: "loadi", OpIndexStore: "storei",
+	OpAdd: "add", OpSub: "sub", OpMul: "mul", OpDiv: "div", OpMod: "mod",
+	OpNeg: "neg", OpNot: "not",
+	OpEq: "eq", OpNe: "ne", OpLt: "lt", OpLe: "le", OpGt: "gt", OpGe: "ge",
+	OpJmp: "jmp", OpJmpFalse: "jmpf", OpJmpTrue: "jmpt",
+	OpDup: "dup", OpPop: "pop",
+	OpCall: "call", OpMethod: "method", OpDtor: "dtor",
+	OpNew: "new", OpPlacementNew: "pnew", OpNewArray: "newarr",
+	OpDelete: "delete", OpDeleteArray: "delarr",
+	OpRet: "ret", OpRetVoid: "retv", OpPrint: "print",
+	OpSpawn: "spawn", OpJoin: "join", OpWork: "work",
+	OpPoolAlloc: "palloc", OpPoolFree: "pfree",
+	OpRealloc: "realloc", OpShadowSave: "shsave",
+}
+
+// String names the opcode.
+func (o Op) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return fmt.Sprintf("Op(%d)", int(o))
+}
+
+// Instr is one instruction.
+type Instr struct {
+	Op   Op
+	A, B int32
+}
+
+// String formats the instruction for disassembly.
+func (i Instr) String() string {
+	switch i.Op {
+	case OpConst, OpLoadLocal, OpStoreLocal, OpLoadField, OpStoreField,
+		OpJmp, OpJmpFalse, OpJmpTrue, OpNewArray, OpDtor, OpPrint,
+		OpPoolAlloc, OpPoolFree:
+		return fmt.Sprintf("%-8s %d", i.Op, i.A)
+	case OpCall, OpMethod, OpNew, OpPlacementNew, OpSpawn:
+		return fmt.Sprintf("%-8s %d, %d", i.Op, i.A, i.B)
+	}
+	return i.Op.String()
+}

@@ -1,0 +1,675 @@
+package vm
+
+import (
+	"fmt"
+	"strings"
+
+	"amplify/internal/alloc"
+	"amplify/internal/cc"
+	"amplify/internal/mem"
+	"amplify/internal/pool"
+	"amplify/internal/sim"
+
+	_ "amplify/internal/hoard"
+	_ "amplify/internal/lkmalloc"
+	_ "amplify/internal/ptmalloc"
+	_ "amplify/internal/serial"
+	_ "amplify/internal/smartheap"
+)
+
+// Config parameterizes VM execution; the fields mirror interp.Config.
+type Config struct {
+	Processors int
+	Strategy   string
+	Pool       pool.Config
+	MaxSteps   int64
+	Tracer     sim.Tracer
+}
+
+func (c Config) withDefaults() Config {
+	if c.Processors <= 0 {
+		c.Processors = 8
+	}
+	if c.Strategy == "" {
+		c.Strategy = "serial"
+	}
+	if c.MaxSteps <= 0 {
+		c.MaxSteps = 50_000_000
+	}
+	return c
+}
+
+// Result mirrors interp.Result for the VM engine.
+type Result struct {
+	Output       string
+	ExitCode     int64
+	Makespan     int64
+	Sim          sim.Stats
+	Alloc        alloc.Stats
+	PoolHits     int64
+	PoolMisses   int64
+	ShadowReuses int64
+	Footprint    int64
+}
+
+// RunSource parses, analyzes, compiles and runs a MiniCC program.
+func RunSource(src string, cfg Config) (Result, error) {
+	prog, err := cc.Parse(src)
+	if err != nil {
+		return Result{}, err
+	}
+	if err := cc.Analyze(prog); err != nil {
+		return Result{}, err
+	}
+	compiled, err := Compile(prog)
+	if err != nil {
+		return Result{}, err
+	}
+	return Run(compiled, cfg)
+}
+
+// Run executes a compiled program on the simulated machine.
+func Run(p *Program, cfg Config) (res Result, err error) {
+	cfg = cfg.withDefaults()
+	mainID, ok := p.FuncID["main"]
+	if !ok {
+		return res, fmt.Errorf("vm: program has no main function")
+	}
+	e := sim.New(sim.Config{Processors: cfg.Processors, Tracer: cfg.Tracer})
+	sp := mem.NewSpace()
+	under, err := alloc.New(cfg.Strategy, e, sp, alloc.Options{})
+	if err != nil {
+		return res, err
+	}
+	pcfg := cfg.Pool
+	if !p.Src.UsesThreads {
+		pcfg.SingleThreaded = true
+	}
+	m := &machine{
+		p:        p,
+		cfg:      cfg,
+		alloc:    under,
+		rt:       pool.NewRuntime(e, under, pcfg),
+		pools:    map[string]*pool.ClassPool{},
+		objects:  map[mem.Ref]*object{},
+		buffers:  map[mem.Ref]*buffer{},
+		joinable: e.NewWaitGroup(),
+	}
+	e.Go("main", func(c *sim.Ctx) {
+		ret := m.exec(c, p.Fns[mainID], mem.Nil, nil)
+		m.exitCode = ret.i
+	})
+	defer func() {
+		if r := recover(); r != nil {
+			ve, ok := r.(*vmError)
+			if !ok {
+				panic(r)
+			}
+			err = ve
+		}
+	}()
+	res.Makespan = e.Run()
+	res.Output = m.out.String()
+	res.ExitCode = m.exitCode
+	res.Sim = e.Stats()
+	res.Alloc = under.Stats()
+	res.ShadowReuses = m.rt.ShadowReuses
+	res.Footprint = sp.Footprint()
+	for _, pl := range m.rt.Pools() {
+		res.PoolHits += pl.Hits
+		res.PoolMisses += pl.Misses
+	}
+	return res, nil
+}
+
+type vmError struct{ msg string }
+
+func (e *vmError) Error() string { return "vm: " + e.msg }
+
+func fail(format string, args ...any) *vmError {
+	panic(&vmError{msg: fmt.Sprintf(format, args...)})
+}
+
+// value is the VM's runtime value.
+type value struct {
+	kind byte // 'i', 's', 'r'
+	i    int64
+	s    string
+	ref  mem.Ref
+}
+
+func iv(n int64) value   { return value{kind: 'i', i: n} }
+func rv(r mem.Ref) value { return value{kind: 'r', ref: r} }
+func (v value) truthy() bool {
+	return (v.kind == 'i' && v.i != 0) || (v.kind == 'r' && v.ref != mem.Nil)
+}
+func (v value) text() string {
+	switch v.kind {
+	case 'i':
+		return fmt.Sprintf("%d", v.i)
+	case 's':
+		return v.s
+	case 'r':
+		if v.ref == mem.Nil {
+			return "null"
+		}
+		return fmt.Sprintf("0x%x", uint64(v.ref))
+	}
+	return "?"
+}
+
+type objState int8
+
+const (
+	stLive objState = iota
+	stDestroyed
+	stFreed
+)
+
+type object struct {
+	class  *cc.ClassDecl
+	fields []value
+	state  objState
+}
+
+type buffer struct {
+	elemSize int32
+	length   int64
+	usable   int64
+	data     []int64
+	state    objState
+}
+
+type machine struct {
+	p        *Program
+	cfg      Config
+	alloc    alloc.Allocator
+	rt       *pool.Runtime
+	pools    map[string]*pool.ClassPool
+	objects  map[mem.Ref]*object
+	buffers  map[mem.Ref]*buffer
+	joinable *sim.WaitGroup
+	spawned  int
+	steps    int64
+	out      strings.Builder
+	exitCode int64
+}
+
+func (m *machine) class(name string) *cc.ClassDecl {
+	cd := m.p.Src.Classes[name]
+	if cd == nil {
+		fail("unknown class %s", name)
+	}
+	return cd
+}
+
+func (m *machine) poolFor(cd *cc.ClassDecl) *pool.ClassPool {
+	pl, ok := m.pools[cd.Name]
+	if !ok {
+		pl = m.rt.NewClassPool(cd.Name, cd.Size)
+		m.pools[cd.Name] = pl
+	}
+	return pl
+}
+
+func (m *machine) object(ref mem.Ref) *object {
+	if ref == mem.Nil {
+		fail("null pointer dereference")
+	}
+	o, ok := m.objects[ref]
+	if !ok {
+		fail("reference 0x%x is not an object", uint64(ref))
+	}
+	if o.state == stFreed {
+		fail("use after free of %s object", o.class.Name)
+	}
+	return o
+}
+
+func (m *machine) live(ref mem.Ref) *object {
+	o := m.object(ref)
+	if o.state != stLive {
+		fail("use of destroyed %s object", o.class.Name)
+	}
+	return o
+}
+
+func (m *machine) buffer(ref mem.Ref) *buffer {
+	if ref == mem.Nil {
+		fail("null buffer dereference")
+	}
+	b, ok := m.buffers[ref]
+	if !ok {
+		fail("reference 0x%x is not a buffer", uint64(ref))
+	}
+	if b.state == stFreed {
+		fail("use after free of buffer")
+	}
+	return b
+}
+
+func zeroRecord(cd *cc.ClassDecl) *object {
+	o := &object{class: cd, state: stLive, fields: make([]value, len(cd.Fields))}
+	for i, f := range cd.Fields {
+		if f.Type.IsPointer() {
+			o.fields[i] = rv(mem.Nil)
+		} else {
+			o.fields[i] = iv(0)
+		}
+	}
+	return o
+}
+
+// exec runs one function activation and returns its value.
+func (m *machine) exec(c *sim.Ctx, fn *Fn, this mem.Ref, args []value) value {
+	slots := make([]value, fn.Slots)
+	copy(slots, args)
+	stack := make([]value, 0, 16)
+	push := func(v value) { stack = append(stack, v) }
+	pop := func() value {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		return v
+	}
+	popN := func(n int) []value {
+		vs := make([]value, n)
+		copy(vs, stack[len(stack)-n:])
+		stack = stack[:len(stack)-n]
+		return vs
+	}
+
+	for pc := 0; pc < len(fn.Code); pc++ {
+		m.steps++
+		if m.steps > m.cfg.MaxSteps {
+			fail("step limit exceeded (%d); non-terminating program?", m.cfg.MaxSteps)
+		}
+		c.Work(1)
+		ins := fn.Code[pc]
+		switch ins.Op {
+		case OpNop:
+		case OpConst:
+			if ins.B == 1 {
+				push(value{kind: 's', s: m.p.Strs[ins.A]})
+			} else {
+				push(iv(m.p.Consts[ins.A]))
+			}
+		case OpNull:
+			push(rv(mem.Nil))
+		case OpLoadLocal:
+			push(slots[ins.A])
+		case OpStoreLocal:
+			slots[ins.A] = pop()
+		case OpLoadThis:
+			push(rv(this))
+		case OpLoadField:
+			recv := pop()
+			o := m.object(recv.ref)
+			idx := ins.A
+			if ins.B == 1 {
+				idx = fieldIndex(o.class, m.p.Names[ins.A])
+				if idx < 0 {
+					fail("class %s has no field %s", o.class.Name, m.p.Names[ins.A])
+				}
+			}
+			c.Read(uint64(recv.ref)+uint64(o.class.Fields[idx].Offset), cc.FieldSize)
+			push(o.fields[idx])
+		case OpStoreField:
+			recv := pop()
+			v := pop()
+			o := m.object(recv.ref)
+			idx := ins.A
+			if ins.B == 1 {
+				idx = fieldIndex(o.class, m.p.Names[ins.A])
+				if idx < 0 {
+					fail("class %s has no field %s", o.class.Name, m.p.Names[ins.A])
+				}
+			}
+			c.Write(uint64(recv.ref)+uint64(o.class.Fields[idx].Offset), cc.FieldSize)
+			o.fields[idx] = v
+		case OpIndexLoad:
+			i := pop()
+			b := pop()
+			buf := m.buffer(b.ref)
+			if i.i < 0 || i.i >= buf.length {
+				fail("index %d out of range [0,%d)", i.i, buf.length)
+			}
+			c.Read(uint64(b.ref)+uint64(i.i)*uint64(buf.elemSize), int64(buf.elemSize))
+			push(iv(buf.data[i.i]))
+		case OpIndexStore:
+			i := pop()
+			b := pop()
+			v := pop()
+			buf := m.buffer(b.ref)
+			if i.i < 0 || i.i >= buf.length {
+				fail("index %d out of range [0,%d)", i.i, buf.length)
+			}
+			c.Write(uint64(b.ref)+uint64(i.i)*uint64(buf.elemSize), int64(buf.elemSize))
+			buf.data[i.i] = v.i
+		case OpAdd, OpSub, OpMul, OpDiv, OpMod, OpEq, OpNe, OpLt, OpLe, OpGt, OpGe:
+			y := pop()
+			x := pop()
+			push(m.arith(ins.Op, x, y))
+		case OpNeg:
+			x := pop()
+			push(iv(-x.i))
+		case OpNot:
+			x := pop()
+			if x.truthy() {
+				push(iv(0))
+			} else {
+				push(iv(1))
+			}
+		case OpJmp:
+			pc = int(ins.A) - 1
+		case OpJmpFalse:
+			if !pop().truthy() {
+				pc = int(ins.A) - 1
+			}
+		case OpJmpTrue:
+			if pop().truthy() {
+				pc = int(ins.A) - 1
+			}
+		case OpDup:
+			push(stack[len(stack)-1])
+		case OpPop:
+			pop()
+		case OpCall:
+			args := popN(int(ins.B))
+			push(m.exec(c, m.p.Fns[ins.A], mem.Nil, args))
+		case OpMethod:
+			args := popN(int(ins.B))
+			recv := pop()
+			o := m.live(recv.ref)
+			id, ok := m.p.methodID[methodKey{o.class.Name, cc.PlainMethod, m.p.Names[ins.A]}]
+			if !ok {
+				fail("class %s has no method %s", o.class.Name, m.p.Names[ins.A])
+			}
+			push(m.exec(c, m.p.Fns[id], recv.ref, args))
+		case OpDtor:
+			recv := pop()
+			o := m.live(recv.ref)
+			if o.class.Name != m.p.Names[ins.A] {
+				fail("destructor ~%s called on %s object", m.p.Names[ins.A], o.class.Name)
+			}
+			m.runDtor(c, o, recv.ref)
+		case OpNew, OpPlacementNew:
+			args := popN(int(ins.B))
+			var placement value
+			if ins.Op == OpPlacementNew {
+				placement = pop()
+			}
+			push(m.doNew(c, m.p.Names[ins.A], placement, args))
+		case OpNewArray:
+			n := pop()
+			push(m.newBuffer(c, ins.A, n.i))
+		case OpDelete:
+			m.doDelete(c, pop())
+		case OpDeleteArray:
+			v := pop()
+			if v.ref == mem.Nil {
+				break
+			}
+			b := m.buffer(v.ref)
+			b.state = stFreed
+			m.alloc.Free(c, v.ref)
+		case OpRet:
+			return pop()
+		case OpRetVoid:
+			return value{}
+		case OpPrint:
+			args := popN(int(ins.A))
+			parts := make([]string, len(args))
+			for i, a := range args {
+				parts[i] = a.text()
+			}
+			m.out.WriteString(strings.Join(parts, " "))
+			m.out.WriteByte('\n')
+		case OpSpawn:
+			args := popN(int(ins.B))
+			m.spawned++
+			m.joinable.Add(1)
+			fnID := ins.A
+			c.Go(fmt.Sprintf("%s#%d", m.p.Fns[fnID].Name, m.spawned), func(cc2 *sim.Ctx) {
+				m.exec(cc2, m.p.Fns[fnID], mem.Nil, args)
+				m.joinable.Done(cc2)
+			})
+		case OpJoin:
+			m.joinable.Wait(c)
+		case OpWork:
+			n := pop()
+			if n.i > 0 {
+				c.Work(n.i)
+			}
+		case OpPoolAlloc:
+			cd := m.class(m.p.Names[ins.A])
+			pl := m.poolFor(cd)
+			ref, reused := pl.Alloc(c)
+			if !reused {
+				m.objects[ref] = zeroRecord(cd)
+			} else {
+				m.objects[ref].state = stLive
+			}
+			push(rv(ref))
+		case OpPoolFree:
+			v := pop()
+			cd := m.class(m.p.Names[ins.A])
+			if v.ref == mem.Nil {
+				break
+			}
+			o := m.object(v.ref)
+			if o.class != cd {
+				fail("__pool_free: %s object given to %s pool", o.class.Name, cd.Name)
+			}
+			if pooled := m.poolFor(cd).Free(c, v.ref); !pooled {
+				o.state = stFreed
+			}
+		case OpRealloc:
+			n := pop()
+			ptr := pop()
+			push(m.doRealloc(c, ptr, n.i))
+		case OpShadowSave:
+			v := pop()
+			if v.ref == mem.Nil {
+				push(rv(mem.Nil))
+				break
+			}
+			b := m.buffer(v.ref)
+			if m.rt.ShadowSave(c, v.ref, b.usable) {
+				b.state = stDestroyed
+				push(rv(v.ref))
+			} else {
+				b.state = stFreed
+				push(rv(mem.Nil))
+			}
+		default:
+			fail("unknown opcode %s", ins.Op)
+		}
+	}
+	return value{}
+}
+
+func (m *machine) arith(op Op, x, y value) value {
+	if x.kind == 'r' || y.kind == 'r' {
+		eq := x.ref == y.ref && x.i == y.i && x.kind == y.kind
+		switch op {
+		case OpEq:
+			if eq {
+				return iv(1)
+			}
+			return iv(0)
+		case OpNe:
+			if eq {
+				return iv(0)
+			}
+			return iv(1)
+		}
+		fail("invalid pointer arithmetic")
+	}
+	b := func(cond bool) value {
+		if cond {
+			return iv(1)
+		}
+		return iv(0)
+	}
+	switch op {
+	case OpAdd:
+		return iv(x.i + y.i)
+	case OpSub:
+		return iv(x.i - y.i)
+	case OpMul:
+		return iv(x.i * y.i)
+	case OpDiv:
+		if y.i == 0 {
+			fail("division by zero")
+		}
+		return iv(x.i / y.i)
+	case OpMod:
+		if y.i == 0 {
+			fail("modulo by zero")
+		}
+		return iv(x.i % y.i)
+	case OpEq:
+		return b(x.i == y.i)
+	case OpNe:
+		return b(x.i != y.i)
+	case OpLt:
+		return b(x.i < y.i)
+	case OpLe:
+		return b(x.i <= y.i)
+	case OpGt:
+		return b(x.i > y.i)
+	case OpGe:
+		return b(x.i >= y.i)
+	}
+	fail("bad arith op")
+	return value{}
+}
+
+func (m *machine) runCtor(c *sim.Ctx, cd *cc.ClassDecl, ref mem.Ref, args []value) {
+	if id, ok := m.p.methodID[methodKey{cd.Name, cc.Ctor, ""}]; ok {
+		m.exec(c, m.p.Fns[id], ref, args)
+	}
+}
+
+func (m *machine) runDtor(c *sim.Ctx, o *object, ref mem.Ref) {
+	if id, ok := m.p.methodID[methodKey{o.class.Name, cc.Dtor, ""}]; ok {
+		m.exec(c, m.p.Fns[id], ref, nil)
+	}
+	o.state = stDestroyed
+}
+
+func (m *machine) doNew(c *sim.Ctx, className string, placement value, args []value) value {
+	cd := m.class(className)
+	if placement.kind == 'r' && placement.ref != mem.Nil {
+		o := m.object(placement.ref)
+		if o.class != cd {
+			fail("placement new: shadow holds %s, want %s", o.class.Name, cd.Name)
+		}
+		if o.state != stLive {
+			o.state = stLive
+			m.runCtor(c, cd, placement.ref, args)
+			return rv(placement.ref)
+		}
+		// Live shadow: the structure is not identical — reorganize by
+		// allocating normally (§3.2).
+	}
+	var ref mem.Ref
+	if id, ok := m.p.methodID[methodKey{cd.Name, cc.OpNew, ""}]; ok {
+		v := m.exec(c, m.p.Fns[id], mem.Nil, []value{iv(cd.Size)})
+		if v.kind != 'r' || v.ref == mem.Nil {
+			fail("operator new of %s returned %s", cd.Name, v.text())
+		}
+		o, ok := m.objects[v.ref]
+		if !ok {
+			fail("operator new of %s returned a non-object reference", cd.Name)
+		}
+		o.state = stLive
+		ref = v.ref
+	} else {
+		ref = m.alloc.Alloc(c, cd.Size)
+		m.objects[ref] = zeroRecord(cd)
+	}
+	m.runCtor(c, cd, ref, args)
+	return rv(ref)
+}
+
+func (m *machine) doDelete(c *sim.Ctx, v value) {
+	if v.kind != 'r' {
+		fail("delete of non-pointer value")
+	}
+	if v.ref == mem.Nil {
+		return
+	}
+	o := m.live(v.ref)
+	m.runDtor(c, o, v.ref)
+	if id, ok := m.p.methodID[methodKey{o.class.Name, cc.OpDelete, ""}]; ok {
+		m.exec(c, m.p.Fns[id], v.ref, []value{rv(v.ref)})
+		return
+	}
+	o.state = stFreed
+	m.alloc.Free(c, v.ref)
+}
+
+func (m *machine) newBuffer(c *sim.Ctx, elemSize int32, n int64) value {
+	if n < 0 {
+		fail("new array with negative length %d", n)
+	}
+	size := n * int64(elemSize)
+	if size == 0 {
+		size = 1
+	}
+	ref := m.alloc.Alloc(c, size)
+	m.buffers[ref] = &buffer{
+		elemSize: elemSize,
+		length:   n,
+		usable:   m.alloc.UsableSize(ref),
+		data:     make([]int64, n),
+		state:    stLive,
+	}
+	return rv(ref)
+}
+
+func (m *machine) doRealloc(c *sim.Ctx, ptr value, n int64) value {
+	if n < 0 {
+		fail("realloc: negative size")
+	}
+	var prev *buffer
+	var prevUsable int64
+	if ptr.ref != mem.Nil {
+		prev = m.buffer(ptr.ref)
+		prevUsable = prev.usable
+	}
+	size := n
+	if size == 0 {
+		size = 1
+	}
+	ref, usable := m.rt.ShadowRealloc(c, ptr.ref, prevUsable, size)
+	elemSize := int32(1)
+	if prev != nil {
+		elemSize = prev.elemSize
+	}
+	length := n / int64(elemSize)
+	if prev != nil && ref == ptr.ref {
+		prev.length = length
+		if int64(len(prev.data)) < length {
+			nd := make([]int64, length)
+			copy(nd, prev.data)
+			prev.data = nd
+		} else {
+			prev.data = prev.data[:length]
+		}
+		prev.state = stLive
+		return rv(ref)
+	}
+	if prev != nil {
+		prev.state = stFreed
+	}
+	m.buffers[ref] = &buffer{
+		elemSize: elemSize,
+		length:   length,
+		usable:   usable,
+		data:     make([]int64, length),
+		state:    stLive,
+	}
+	return rv(ref)
+}

@@ -1,0 +1,405 @@
+// Package workload implements the paper's synthetic test programs (§4):
+// a configurable number of threads that repeatedly allocate, initialize,
+// use, destroy and deallocate complete binary trees, with 100% temporal
+// locality — the same structure is created over and over again. Test
+// cases 1, 2 and 3 of Table 1 are tree depths 1, 3 and 5 (3, 15 and 63
+// objects).
+//
+// Each tree strategy mirrors one line of the paper's figures:
+//
+//   - "serial", "ptmalloc", "hoard", "smartheap": the plain program
+//     running over the named C-library allocator — every node is
+//     malloc'd and free'd individually.
+//   - "amplify": the program after the Amplify pre-processor — a
+//     structure pool per class, operator new/delete redirected to it,
+//     and shadow pointers preserving the child structure across delete.
+//   - "handmade": the programmer-written structure pool of §3.1 —
+//     thread-private (lock-free) pools whose structures keep their
+//     ordinary child pointers intact.
+package workload
+
+import (
+	"fmt"
+
+	"amplify/internal/alloc"
+	"amplify/internal/handmade"
+	"amplify/internal/mem"
+	"amplify/internal/pool"
+	"amplify/internal/sim"
+)
+
+// Node sizes in bytes. The paper's nodes hold two (32-bit) child
+// pointers plus dummy data: 20 bytes plain, 28 bytes once the
+// pre-processor has added the two shadow pointers.
+const (
+	PlainNodeSize = 20
+	AmpNodeSize   = 28
+
+	offLeft        = 0  // left child pointer
+	offRight       = 4  // right child pointer
+	offData        = 8  // 12 bytes of dummy data
+	offLeftShadow  = 20 // shadow of left (amplified layout only)
+	offRightShadow = 24 // shadow of right
+)
+
+// Nodes returns the object count of a complete binary tree of the given
+// depth (Table 1: depth 1 -> 3, depth 3 -> 15, depth 5 -> 63).
+func Nodes(depth int) int { return 1<<(depth+1) - 1 }
+
+// TreeConfig parameterizes a synthetic run.
+type TreeConfig struct {
+	// Depth of the complete binary trees (test case 1/2/3 = 1/3/5).
+	Depth int
+	// Trees is the total number of create/use/destroy cycles, divided
+	// evenly among the threads (fixed total work, as in a speedup
+	// experiment).
+	Trees int
+	// Threads is the number of worker threads.
+	Threads int
+	// Processors simulated; zero means 8 (the paper's machines).
+	Processors int
+	// InitWork and UseWork are extra per-node computation charges for
+	// the initialize and use phases, diluting allocator costs the way
+	// real application logic would.
+	InitWork int64
+	UseWork  int64
+	// Arenas overrides the arena/heap count of multi-heap allocators
+	// (ptmalloc, hoard); zero means the strategy default.
+	Arenas int
+	// Pool configures the Amplify runtime (strategy "amplify" only).
+	// SingleThreaded is forced on when Threads == 1, mirroring the
+	// pre-processor's lock elision for non-threaded programs, unless
+	// KeepPoolLocks is set (the lock-elision ablation needs the locked
+	// build of a single-threaded program).
+	Pool          pool.Config
+	KeepPoolLocks bool
+	// Exact disables the simulator's lease optimization.
+	Exact bool
+}
+
+func (cfg TreeConfig) withDefaults() TreeConfig {
+	if cfg.Processors <= 0 {
+		cfg.Processors = 8
+	}
+	if cfg.Threads <= 0 {
+		cfg.Threads = 1
+	}
+	if cfg.Trees <= 0 {
+		cfg.Trees = 1000
+	}
+	return cfg
+}
+
+// Result summarizes a run.
+type Result struct {
+	Strategy string
+	Config   TreeConfig
+
+	// Makespan is the completion time of the slowest thread in virtual
+	// cycles: the experiment's "execution time".
+	Makespan int64
+	// Sim aggregates lock and cache statistics.
+	Sim sim.Stats
+	// Alloc are the underlying allocator's counters; for "amplify" and
+	// "handmade" they count only pool misses (heap fallbacks).
+	Alloc alloc.Stats
+	// Footprint is the simulated process memory consumption in bytes.
+	Footprint int64
+	// PoolHits/PoolMisses count structure-pool operations (pool-based
+	// strategies only).
+	PoolHits   int64
+	PoolMisses int64
+	// FailedTryLocks counts failed trylock attempts across all mutexes
+	// (the quantity §5.1 reports as "failed lock attempts").
+	FailedTryLocks int64
+}
+
+// Strategies lists the tree-workload strategy names.
+func Strategies() []string {
+	return []string{"serial", "ptmalloc", "hoard", "smartheap", "lkmalloc", "amplify", "objectpool", "handmade"}
+}
+
+// RunTree executes the synthetic tree program under the named strategy
+// and returns its measurements.
+func RunTree(strategy string, cfg TreeConfig) (Result, error) {
+	cfg = cfg.withDefaults()
+	e := sim.New(sim.Config{Processors: cfg.Processors, Exact: cfg.Exact})
+	sp := mem.NewSpace()
+
+	res := Result{Strategy: strategy, Config: cfg}
+
+	switch strategy {
+	case "serial", "ptmalloc", "hoard", "smartheap", "lkmalloc":
+		a, err := alloc.New(strategy, e, sp, alloc.Options{Threads: cfg.Threads, Arenas: cfg.Arenas})
+		if err != nil {
+			return res, err
+		}
+		forEachThread(e, cfg, func(c *sim.Ctx, trees int) {
+			plainWorker(c, a, cfg, trees)
+		})
+		res.Makespan = e.Run()
+		res.Alloc = a.Stats()
+
+	case "amplify":
+		under, err := alloc.New("serial", e, sp, alloc.Options{Threads: cfg.Threads})
+		if err != nil {
+			return res, err
+		}
+		pcfg := cfg.Pool
+		if cfg.Threads == 1 && !cfg.KeepPoolLocks {
+			pcfg.SingleThreaded = true
+		}
+		rt := pool.NewRuntime(e, under, pcfg)
+		np := rt.NewClassPool("Node", AmpNodeSize)
+		forEachThread(e, cfg, func(c *sim.Ctx, trees int) {
+			amplifiedWorker(c, rt, np, cfg, trees)
+		})
+		res.Makespan = e.Run()
+		res.Alloc = under.Stats()
+		res.PoolHits = np.Hits
+		res.PoolMisses = np.Misses
+
+	case "objectpool":
+		// §2.1's traditional object pool: every node goes through the
+		// class pool individually — no structure reuse, so a 15-node
+		// tree costs 15 pool operations instead of Amplify's one.
+		under, err := alloc.New("serial", e, sp, alloc.Options{Threads: cfg.Threads})
+		if err != nil {
+			return res, err
+		}
+		pcfg := cfg.Pool
+		if cfg.Threads == 1 {
+			pcfg.SingleThreaded = true
+		}
+		rt := pool.NewRuntime(e, under, pcfg)
+		np := rt.NewClassPool("Node", PlainNodeSize)
+		forEachThread(e, cfg, func(c *sim.Ctx, trees int) {
+			objectPoolWorker(c, np, cfg, trees)
+		})
+		res.Makespan = e.Run()
+		res.Alloc = under.Stats()
+		res.PoolHits = np.Hits
+		res.PoolMisses = np.Misses
+
+	case "handmade":
+		under, err := alloc.New("serial", e, sp, alloc.Options{Threads: cfg.Threads})
+		if err != nil {
+			return res, err
+		}
+		var hits, misses int64
+		forEachThread(e, cfg, func(c *sim.Ctx, trees int) {
+			h, m := handmadeWorker(c, under, cfg, trees)
+			hits += h
+			misses += m
+		})
+		res.Makespan = e.Run()
+		res.Alloc = under.Stats()
+		res.PoolHits = hits
+		res.PoolMisses = misses
+
+	default:
+		return res, fmt.Errorf("workload: unknown strategy %q (have %v)", strategy, Strategies())
+	}
+
+	res.Sim = e.Stats()
+	res.Footprint = sp.Footprint()
+	res.FailedTryLocks = failedTryLocks(e)
+	return res, nil
+}
+
+// failedTryLocks sums failed trylock attempts over every mutex.
+func failedTryLocks(e *sim.Engine) int64 {
+	var n int64
+	for _, m := range e.Mutexes() {
+		n += m.FailedTry
+	}
+	return n
+}
+
+// forEachThread runs a main thread that spawns cfg.Threads workers in
+// sequence — each creation charges the spawn cost, so workers start
+// staggered exactly as thr_create staggered them on Solaris. The
+// stagger matters: it lets each thread build its first structure in a
+// private stretch of the heap instead of interleaving warmup
+// allocations node-by-node with every other thread.
+func forEachThread(e *sim.Engine, cfg TreeConfig, worker func(c *sim.Ctx, trees int)) {
+	per := cfg.Trees / cfg.Threads
+	extra := cfg.Trees % cfg.Threads
+	e.Go("main", func(c *sim.Ctx) {
+		for i := 0; i < cfg.Threads; i++ {
+			trees := per
+			if i < extra {
+				trees++
+			}
+			c.Go(fmt.Sprintf("worker%d", i), func(cc *sim.Ctx) {
+				worker(cc, trees)
+			})
+		}
+	})
+}
+
+// plainWorker is the original program: every node is allocated from and
+// returned to the C-library allocator individually.
+func plainWorker(c *sim.Ctx, a alloc.Allocator, cfg TreeConfig, trees int) {
+	n := Nodes(cfg.Depth)
+	refs := make([]mem.Ref, n)
+	for t := 0; t < trees; t++ {
+		// Allocate and initialize every node: operator new per object.
+		for i := 0; i < n; i++ {
+			refs[i] = a.Alloc(c, PlainNodeSize)
+		}
+		initTree(c, refs, PlainNodeSize, cfg.InitWork)
+		useTree(c, refs, PlainNodeSize, cfg.UseWork)
+		// Destroy: destructor reads the child links, then operator
+		// delete frees each node.
+		for i := n - 1; i >= 0; i-- {
+			c.Read(uint64(refs[i])+offLeft, 8)
+			a.Free(c, refs[i])
+		}
+	}
+}
+
+// initTree writes both child pointers and the dummy data of every node
+// (the constructors running over the fresh structure).
+func initTree(c *sim.Ctx, refs []mem.Ref, nodeSize int64, work int64) {
+	n := len(refs)
+	for i := 0; i < n; i++ {
+		if 2*i+1 < n {
+			c.Write(uint64(refs[i])+offLeft, 4)
+		}
+		if 2*i+2 < n {
+			c.Write(uint64(refs[i])+offRight, 4)
+		}
+		c.Write(uint64(refs[i])+offData, 12)
+		if work > 0 {
+			c.Work(work)
+		}
+	}
+}
+
+// useTree walks the structure reading every node.
+func useTree(c *sim.Ctx, refs []mem.Ref, nodeSize int64, work int64) {
+	for i := 0; i < len(refs); i++ {
+		c.Read(uint64(refs[i]), nodeSize)
+		if work > 0 {
+			c.Work(work)
+		}
+	}
+}
+
+// amplifiedWorker is the program as transformed by the Amplify
+// pre-processor: the root comes from the class's structure pool; when
+// the pool hit returns a previously used structure, the children are
+// recovered through the shadow pointers with no allocator calls at all;
+// on a miss the children are allocated through the pool as well (which
+// falls back to malloc while the pools warm up). Deletion runs the
+// destructors, saves each child in its parent's shadow pointer, and
+// returns only the root to the pool.
+func amplifiedWorker(c *sim.Ctx, rt *pool.Runtime, np *pool.ClassPool, cfg TreeConfig, trees int) {
+	n := Nodes(cfg.Depth)
+	// shadows mirrors the shadow-pointer state: for each pooled root,
+	// the refs of its (still linked) child structure.
+	shadows := make(map[mem.Ref][]mem.Ref)
+	for t := 0; t < trees; t++ {
+		root, reused := np.Alloc(c)
+		refs := shadows[root]
+		if !reused || refs == nil {
+			// Fresh root: build the structure through the pool
+			// (placement new finds null shadows).
+			refs = make([]mem.Ref, n)
+			refs[0] = root
+			for i := 1; i < n; i++ {
+				refs[i], _ = np.Alloc(c)
+			}
+			shadows[root] = refs
+		} else {
+			// Reused structure: placement new reads each shadow pointer.
+			for i := 0; i < n; i++ {
+				if 2*i+1 < n {
+					c.Read(uint64(refs[i])+offLeftShadow, 4)
+				}
+				if 2*i+2 < n {
+					c.Read(uint64(refs[i])+offRightShadow, 4)
+				}
+			}
+		}
+		initTree(c, refs, AmpNodeSize, cfg.InitWork)
+		useTree(c, refs, AmpNodeSize, cfg.UseWork)
+		// Destroy: children are logically deleted — destructor call plus
+		// a shadow-pointer store in the parent — and the root goes back
+		// to its pool.
+		for i := n - 1; i >= 1; i-- {
+			parent := refs[(i-1)/2]
+			off := uint64(offLeftShadow)
+			if i%2 == 0 {
+				off = offRightShadow
+			}
+			c.Read(uint64(refs[i])+offData, 4) // destructor touches the object
+			c.Write(uint64(parent)+off, 4)     // shadow = child
+		}
+		if !np.Free(c, root) {
+			// Pool at its MaxObjects limit: the root went back to the
+			// heap, so the generated code releases the child structure
+			// through the shadow pointers too.
+			for i := 1; i < n; i++ {
+				rt.Underlying().Free(c, refs[i])
+			}
+			delete(shadows, root)
+		}
+	}
+}
+
+// objectPoolWorker pools every node individually (a traditional object
+// pool, §2.1): calls to the memory manager are avoided after warmup,
+// but every single object still costs a pool operation.
+func objectPoolWorker(c *sim.Ctx, np *pool.ClassPool, cfg TreeConfig, trees int) {
+	n := Nodes(cfg.Depth)
+	refs := make([]mem.Ref, n)
+	for t := 0; t < trees; t++ {
+		for i := 0; i < n; i++ {
+			refs[i], _ = np.Alloc(c)
+		}
+		initTree(c, refs, PlainNodeSize, cfg.InitWork)
+		useTree(c, refs, PlainNodeSize, cfg.UseWork)
+		for i := n - 1; i >= 0; i-- {
+			c.Read(uint64(refs[i])+offLeft, 8)
+			np.Free(c, refs[i])
+		}
+	}
+}
+
+// handmadeWorker is §3.1's programmer-written pool: one pool per
+// thread, no locks, whole structures pooled with their ordinary child
+// pointers kept intact (no shadow fields, so nodes stay 20 bytes).
+func handmadeWorker(c *sim.Ctx, under alloc.Allocator, cfg TreeConfig, trees int) (hits, misses int64) {
+	n := Nodes(cfg.Depth)
+	metaAddr := uint64(1)<<41 + uint64(c.ThreadID())*128
+	p := handmade.New(under, PlainNodeSize, metaAddr)
+	structures := make(map[mem.Ref][]mem.Ref)
+	for t := 0; t < trees; t++ {
+		root, reused := p.Alloc(c)
+		var refs []mem.Ref
+		if reused {
+			refs = structures[root]
+			// The intact child pointers are simply read back.
+			for i := 0; i < n; i++ {
+				if 2*i+1 < n {
+					c.Read(uint64(refs[i])+offLeft, 4)
+				}
+			}
+		} else {
+			refs = make([]mem.Ref, n)
+			refs[0] = root
+			for i := 1; i < n; i++ {
+				refs[i] = under.Alloc(c, PlainNodeSize)
+			}
+			structures[root] = refs
+		}
+		initTree(c, refs, PlainNodeSize, cfg.InitWork)
+		useTree(c, refs, PlainNodeSize, cfg.UseWork)
+		// destroy(): init()-style cleanup, then the root returns to the
+		// thread's pool. Child objects are not touched at all.
+		p.Free(c, root)
+	}
+	return p.Hits, p.Misses
+}
