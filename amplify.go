@@ -28,6 +28,7 @@ import (
 	"amplify/internal/bench"
 	"amplify/internal/core"
 	"amplify/internal/interp"
+	"amplify/internal/vet"
 	"amplify/internal/vm"
 )
 
@@ -90,6 +91,24 @@ func Rewrite(src string, opt RewriteOptions) (string, *RewriteReport, error) {
 		SingleThreaded:      rep.SingleThreaded,
 		Text:                rep.String(),
 	}, nil
+}
+
+// Vet runs the flow-sensitive static analyzer over MiniCC source. It
+// returns the human-readable findings (one diagnostic per line), true
+// when the program is free of error-severity defects, and the classes
+// ruled ineligible for amplification mapped to the condemning
+// diagnostic codes — the map feeds auto-exclusion (see the amplify
+// CLI's -auto-exclude flag).
+func Vet(src string) (findings string, clean bool, ineligible map[string]string, err error) {
+	res, err := vet.CheckSource(src)
+	if err != nil {
+		return "", false, nil, err
+	}
+	ineligible = map[string]string{}
+	for _, e := range res.Ineligible() {
+		ineligible[e.Class] = e.Reason
+	}
+	return res.String(), !res.HasErrors(), ineligible, nil
 }
 
 // RunConfig parameterizes program execution on the simulated machine.

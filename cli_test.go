@@ -1,6 +1,7 @@
 package amplify
 
 import (
+	"encoding/json"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -137,5 +138,214 @@ func TestCLIErrors(t *testing.T) {
 	}
 	if !strings.Contains(string(out), "1:7") {
 		t.Errorf("error lacks position:\n%s", out)
+	}
+}
+
+// vetProgram exhibits all six analyzer defect classes; Bad collects
+// the five error-severity ones, Leaky only warnings.
+const vetProgram = `class Child {
+public:
+    Child(int v) {
+        x = v;
+    }
+    ~Child() {
+    }
+    int get() {
+        return x;
+    }
+private:
+    int x;
+};
+
+class Bad {
+public:
+    Bad(int n) {
+        if (n > 0) {
+            kid = new Child(n);
+        }
+        spare = new Child(1);
+        other = spare;
+    }
+    ~Bad() {
+        delete kid;
+        delete kid;
+        delete spare;
+    }
+    int poke() {
+        delete spare;
+        return spare->get();
+    }
+    Child* steal() {
+        return kid;
+    }
+    void drop() {
+        Child* p = kid;
+        delete p;
+    }
+private:
+    Child* kid;
+    Child* spare;
+    Child* other;
+};
+
+class Leaky {
+public:
+    Leaky(int n) {
+        buf = new char[n];
+        buf = new char[n + 1];
+    }
+    ~Leaky() {
+    }
+private:
+    char* buf;
+};
+
+void consume(Child* c) {
+    delete c;
+}
+
+int main() {
+    Bad* b = new Bad(3);
+    int r = b->poke();
+    Child* c = new Child(7);
+    consume(c);
+    print("done");
+    return r;
+}
+`
+
+func TestCLIVet(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bin := buildTools(t)
+	srcPath := filepath.Join(t.TempDir(), "six.mcc")
+	if err := os.WriteFile(srcPath, []byte(vetProgram), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// amplify -vet reports every defect class at its exact position and
+	// exits nonzero because errors are present.
+	out, err := exec.Command(filepath.Join(bin, "amplify"), "-vet", srcPath).CombinedOutput()
+	if err == nil {
+		t.Fatalf("amplify -vet exit = 0 on defective program:\n%s", out)
+	}
+	text := string(out)
+	for _, want := range []string{
+		"22:15: V005 error",
+		"26:9: V003 error",
+		"31:16: V002 error",
+		"34:9: V005 error",
+		"38:9: V004 error",
+		"41:12: V001 error",
+		"50:13: V006 warning",
+		"55:11: V006 warning",
+		"63:10: V006 warning",
+		"6 errors, 3 warnings",
+		"class Bad ineligible for amplification (V001 ctor-uninit, V002 use-after-delete, V003 double-delete, V004 alias-delete, V005 field-escape)",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("amplify -vet output missing %q:\n%s", want, text)
+		}
+	}
+
+	// amplify -vet-json emits machine-readable findings.
+	out, err = exec.Command(filepath.Join(bin, "amplify"), "-vet-json", srcPath).Output()
+	if err == nil {
+		t.Fatal("amplify -vet-json exit = 0 on defective program")
+	}
+	var parsed struct {
+		Errors      int `json:"errors"`
+		Warnings    int `json:"warnings"`
+		AutoExclude []struct {
+			Class string `json:"class"`
+		} `json:"autoExclude"`
+	}
+	if jerr := json.Unmarshal(out, &parsed); jerr != nil {
+		t.Fatalf("-vet-json output not JSON: %v\n%s", jerr, out)
+	}
+	if parsed.Errors != 6 || parsed.Warnings != 3 {
+		t.Errorf("-vet-json counts = %+v", parsed)
+	}
+	if len(parsed.AutoExclude) != 1 || parsed.AutoExclude[0].Class != "Bad" {
+		t.Errorf("-vet-json autoExclude = %+v", parsed.AutoExclude)
+	}
+
+	// amplify -auto-exclude removes exactly the ineligible class, keeps
+	// the rest amplified, and says so in the report.
+	out, err = exec.Command(filepath.Join(bin, "amplify"), "-auto-exclude", "-report", srcPath).CombinedOutput()
+	if err != nil {
+		t.Fatalf("amplify -auto-exclude: %v\n%s", err, out)
+	}
+	text = string(out)
+	if !strings.Contains(text, "auto-excluded:       Bad (V001 ctor-uninit, V002 use-after-delete, V003 double-delete, V004 alias-delete, V005 field-escape)") {
+		t.Errorf("report missing auto-excluded section:\n%s", text)
+	}
+	if strings.Contains(text, "__pool_alloc(Bad)") {
+		t.Error("ineligible class Bad was still pooled")
+	}
+	for _, want := range []string{"__pool_alloc(Child)", "__pool_alloc(Leaky)"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("eligible class lost its pool (%s missing):\n%s", want, text)
+		}
+	}
+
+	// Manual -exclude merges with auto-exclusion.
+	out, err = exec.Command(filepath.Join(bin, "amplify"), "-auto-exclude", "-exclude", "Leaky", "-report", srcPath).CombinedOutput()
+	if err != nil {
+		t.Fatalf("amplify -auto-exclude -exclude: %v\n%s", err, out)
+	}
+	text = string(out)
+	if strings.Contains(text, "__pool_alloc(Leaky)") || strings.Contains(text, "__pool_alloc(Bad)") {
+		t.Errorf("excluded classes still pooled:\n%s", text)
+	}
+	if !strings.Contains(text, "skipped classes:     Leaky (excluded by option)") {
+		t.Errorf("manual exclusion not reported:\n%s", text)
+	}
+
+	// mccrun -vet refuses to execute a program with vet errors.
+	out, err = exec.Command(filepath.Join(bin, "mccrun"), "-vet", srcPath).CombinedOutput()
+	if err == nil {
+		t.Fatalf("mccrun -vet ran a defective program:\n%s", out)
+	}
+	if !strings.Contains(string(out), "refusing to run") {
+		t.Errorf("mccrun -vet error message:\n%s", out)
+	}
+
+	// A clean program passes -vet (exit 0) and still runs under -vet.
+	cleanPath := filepath.Join(t.TempDir(), "clean.mcc")
+	clean := `class Node {
+public:
+    Node(int v) {
+        val = v;
+        next = null;
+    }
+    ~Node() {
+        delete next;
+    }
+private:
+    int val;
+    Node* next;
+};
+
+int main() {
+    Node* n = new Node(1);
+    delete n;
+    print("ok");
+    return 0;
+}
+`
+	if err := os.WriteFile(cleanPath, []byte(clean), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if out, err := exec.Command(filepath.Join(bin, "amplify"), "-vet", cleanPath).CombinedOutput(); err != nil {
+		t.Fatalf("amplify -vet on clean program: %v\n%s", err, out)
+	}
+	out, err = exec.Command(filepath.Join(bin, "mccrun"), "-vet", "-amplify", cleanPath).CombinedOutput()
+	if err != nil {
+		t.Fatalf("mccrun -vet -amplify on clean program: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "ok") {
+		t.Errorf("clean program output = %q", out)
 	}
 }

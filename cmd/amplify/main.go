@@ -9,11 +9,14 @@
 //
 // Flags:
 //
-//	-o file        write output to file (default: stdout)
-//	-exclude A,B   classes the pre-processor must leave alone (§5.1)
-//	-arrays-only   only shadow data-type arrays, the BGw variant (§5.2)
-//	-mode m        "shadow" (default) or "flag" (§5.1's one-bit sketch)
-//	-report        print a transformation report to stderr
+//	-o file         write output to file (default: stdout)
+//	-exclude A,B    classes the pre-processor must leave alone (§5.1)
+//	-arrays-only    only shadow data-type arrays, the BGw variant (§5.2)
+//	-mode m         "shadow" (default) or "flag" (§5.1's one-bit sketch)
+//	-report         print a transformation report to stderr
+//	-vet            analyze only: print diagnostics, exit 1 on errors
+//	-vet-json       analyze only: print machine-readable JSON findings
+//	-auto-exclude   run the analyzer and exclude ineligible classes
 package main
 
 import (
@@ -24,6 +27,7 @@ import (
 	"strings"
 
 	"amplify/internal/core"
+	"amplify/internal/vet"
 )
 
 func main() {
@@ -32,6 +36,9 @@ func main() {
 	arraysOnly := flag.Bool("arrays-only", false, "only shadow data-type arrays (char[]/int[])")
 	mode := flag.String("mode", "shadow", "shadow | flag")
 	report := flag.Bool("report", false, "print a transformation report to stderr")
+	vetOnly := flag.Bool("vet", false, "analyze for memory defects and amplify-safety; no transform")
+	vetJSON := flag.Bool("vet-json", false, "like -vet but print JSON findings to stdout")
+	autoExclude := flag.Bool("auto-exclude", false, "exclude classes the analyzer rules ineligible")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -44,12 +51,27 @@ func main() {
 		fatal(err)
 	}
 
+	if *vetOnly || *vetJSON {
+		runVet(src, flag.Arg(0), *vetJSON)
+		return
+	}
+
 	opt := core.Options{
 		ArraysOnly: *arraysOnly,
 		Mode:       core.Mode(*mode),
 	}
 	if *exclude != "" {
 		opt.Exclude = strings.Split(*exclude, ",")
+	}
+	if *autoExclude {
+		excl, err := vet.EligibilitySource(src)
+		if err != nil {
+			fatal(err)
+		}
+		opt.AutoExclude = map[string]string{}
+		for _, e := range excl {
+			opt.AutoExclude[e.Class] = e.Reason
+		}
 	}
 	transformed, rep, err := core.Rewrite(src, opt)
 	if err != nil {
@@ -64,6 +86,33 @@ func main() {
 	}
 	if err := os.WriteFile(*out, []byte(transformed), 0o644); err != nil {
 		fatal(err)
+	}
+}
+
+// runVet analyzes the source without transforming it. Diagnostics go
+// to stderr (or JSON to stdout); the exit code is 1 when any
+// error-severity finding exists, so the command works as a CI gate.
+func runVet(src, path string, asJSON bool) {
+	res, err := vet.CheckSource(src)
+	if err != nil {
+		fatal(err)
+	}
+	if asJSON {
+		raw, err := res.JSON(path)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(string(raw))
+	} else {
+		fmt.Fprint(os.Stderr, res.String())
+		errs, warns := res.Counts()
+		fmt.Fprintf(os.Stderr, "%s: %d errors, %d warnings\n", path, errs, warns)
+		for _, e := range res.Ineligible() {
+			fmt.Fprintf(os.Stderr, "%s: class %s ineligible for amplification (%s)\n", path, e.Class, e.Reason)
+		}
+	}
+	if res.HasErrors() {
+		os.Exit(1)
 	}
 }
 

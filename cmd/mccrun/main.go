@@ -12,6 +12,7 @@
 //	-arrays-only with -amplify: only shadow data-type arrays
 //	-mode m      with -amplify: shadow | flag
 //	-stats       print execution statistics to stderr
+//	-vet         lint the program first; refuse to run on errors
 //
 // The program's print() output goes to stdout; the exit code is main's
 // return value.
@@ -26,6 +27,7 @@ import (
 	"amplify/internal/core"
 	"amplify/internal/interp"
 	"amplify/internal/sim"
+	"amplify/internal/vet"
 	"amplify/internal/vm"
 )
 
@@ -51,6 +53,7 @@ func main() {
 	mode := flag.String("mode", "shadow", "with -amplify: shadow | flag")
 	stats := flag.Bool("stats", false, "print execution statistics to stderr")
 	trace := flag.Int("trace", 0, "print the first N simulation events to stderr")
+	vetFirst := flag.Bool("vet", false, "lint the program before running; refuse to run on errors")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -61,6 +64,17 @@ func main() {
 	src, err := readInput(flag.Arg(0))
 	if err != nil {
 		fatal(err)
+	}
+	if *vetFirst {
+		res, err := vet.CheckSource(src)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprint(os.Stderr, res.String())
+		if res.HasErrors() {
+			errs, _ := res.Counts()
+			fatal(fmt.Errorf("vet found %d errors; refusing to run", errs))
+		}
 	}
 	if *amplify {
 		transformed, rep, err := core.Rewrite(src, core.Options{

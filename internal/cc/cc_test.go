@@ -271,6 +271,10 @@ func TestSemaErrors(t *testing.T) {
 		{"this outside method", "int main() { return this; }", "'this' outside a method"},
 		{"unknown field", "class A { int x; A() { } }; int main() { A* a = new A(); a->y; return 0; }", "no field y"},
 		{"unknown method", "class A { int x; A() { } }; int main() { A* a = new A(); a->m(); return 0; }", "no method m"},
+		{"intrinsic function", "void realloc(int x) { } int main() { return 0; }", "collides with a runtime intrinsic"},
+		{"intrinsic method pool_alloc", "class A { void __pool_alloc() { } }; int main() { return 0; }", "method A::__pool_alloc collides with a runtime intrinsic"},
+		{"intrinsic method realloc", "class A { int realloc(int n) { return n; } }; int main() { return 0; }", "method A::realloc collides with a runtime intrinsic"},
+		{"intrinsic method shadow_save", "class A { void __shadow_save() { } }; int main() { return 0; }", "method A::__shadow_save collides with a runtime intrinsic"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

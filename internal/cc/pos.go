@@ -1,0 +1,33 @@
+package cc
+
+// ExprPos returns the source position of an expression node. It is the
+// exported form of the front end's internal helper, for tools (such as
+// internal/vet) that attach diagnostics to expressions.
+func ExprPos(e Expr) Pos { return exprPos(e) }
+
+// StmtPos returns the source position of a statement node.
+func StmtPos(s Stmt) Pos {
+	switch s := s.(type) {
+	case *Block:
+		return s.Pos
+	case *VarDecl:
+		return s.Pos
+	case *ExprStmt:
+		return s.Pos
+	case *If:
+		return s.Pos
+	case *While:
+		return s.Pos
+	case *For:
+		return s.Pos
+	case *Return:
+		return s.Pos
+	case *DeleteStmt:
+		return s.Pos
+	case *Spawn:
+		return s.Pos
+	case *Join:
+		return s.Pos
+	}
+	return Pos{}
+}

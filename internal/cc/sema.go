@@ -35,6 +35,14 @@ func Analyze(prog *Program) error {
 			if _, dup := prog.Classes[d.Name]; dup {
 				return errf(d.Pos, "duplicate class %s", d.Name)
 			}
+			for _, m := range d.Methods {
+				if m.Kind != PlainMethod {
+					continue
+				}
+				if _, isIntrinsic := Intrinsics[m.Name]; isIntrinsic {
+					return errf(m.Pos, "method %s::%s collides with a runtime intrinsic", d.Name, m.Name)
+				}
+			}
 			prog.Classes[d.Name] = d
 		case *FuncDecl:
 			if _, dup := prog.Funcs[d.Name]; dup {

@@ -59,6 +59,12 @@ const (
 type Options struct {
 	// Exclude lists classes that must not be amplified.
 	Exclude []string
+	// AutoExclude maps classes to the analyzer verdict that made them
+	// ineligible (typically vet.Eligibility output). Auto-excluded
+	// classes are skipped exactly like Exclude entries but reported
+	// separately, so a report distinguishes the designer's choices from
+	// the analyzer's.
+	AutoExclude map[string]string
 	// ArraysOnly limits the rewrite to data-type arrays, the variant
 	// §5.2 measured on BGw ("only data type arrays were shadowed").
 	ArraysOnly bool
@@ -72,7 +78,8 @@ func (o Options) excluded(name string) bool {
 			return true
 		}
 	}
-	return false
+	_, auto := o.AutoExclude[name]
+	return auto
 }
 
 // Report describes what the pre-processor did.
@@ -81,6 +88,9 @@ type Report struct {
 	Pooled []string
 	// Skipped lists classes left alone and why.
 	Skipped map[string]string
+	// AutoExcluded lists classes the static analyzer ruled ineligible,
+	// with the condemning diagnostic codes.
+	AutoExcluded map[string]string
 	// ShadowFields counts shadow (or flag) fields added per class.
 	ShadowFields map[string]int
 	// Rewrites counts source rewrites by rule.
@@ -105,6 +115,14 @@ func (r *Report) String() string {
 	sort.Strings(skipped)
 	if len(skipped) > 0 {
 		fmt.Fprintf(&b, "  skipped classes:     %s\n", strings.Join(skipped, ", "))
+	}
+	auto := make([]string, 0, len(r.AutoExcluded))
+	for name, why := range r.AutoExcluded {
+		auto = append(auto, fmt.Sprintf("%s (%s)", name, why))
+	}
+	sort.Strings(auto)
+	if len(auto) > 0 {
+		fmt.Fprintf(&b, "  auto-excluded:       %s\n", strings.Join(auto, ", "))
 	}
 	total := 0
 	names := make([]string, 0, len(r.ShadowFields))
@@ -142,6 +160,7 @@ func Rewrite(src string, opt Options) (string, *Report, error) {
 	}
 	rw := &rewriter{prog: prog, opt: opt, report: &Report{
 		Skipped:      map[string]string{},
+		AutoExcluded: map[string]string{},
 		ShadowFields: map[string]int{},
 	}}
 	if err := rw.run(); err != nil {
@@ -189,7 +208,11 @@ func (rw *rewriter) run() error {
 			continue
 		}
 		if !rw.amplified(cd) {
-			rw.report.Skipped[cd.Name] = "excluded by option"
+			if why, auto := rw.opt.AutoExclude[cd.Name]; auto {
+				rw.report.AutoExcluded[cd.Name] = why
+			} else {
+				rw.report.Skipped[cd.Name] = "excluded by option"
+			}
 			continue
 		}
 		if err := rw.addShadowFields(cd); err != nil {

@@ -360,3 +360,27 @@ func TestReportString(t *testing.T) {
 		}
 	}
 }
+
+func TestAutoExcludedClassReported(t *testing.T) {
+	out, rep := rewrite(t, rootChildSrc, Options{
+		AutoExclude: map[string]string{"Child": "V001 ctor-uninit"},
+	})
+	if strings.Contains(out, "__pool_alloc(Child)") {
+		t.Error("auto-excluded class was pooled")
+	}
+	if strings.Contains(out, "leftShadow") {
+		t.Error("auto-excluded child class got shadow treatment in parent")
+	}
+	if rep.AutoExcluded["Child"] != "V001 ctor-uninit" {
+		t.Errorf("AutoExcluded = %+v, want Child with verdict", rep.AutoExcluded)
+	}
+	if _, manual := rep.Skipped["Child"]; manual {
+		t.Error("auto-excluded class also listed as manually skipped")
+	}
+	if !strings.Contains(out, "__pool_alloc(Root)") {
+		t.Error("non-excluded class lost its pool")
+	}
+	if !strings.Contains(rep.String(), "auto-excluded:       Child (V001 ctor-uninit)") {
+		t.Errorf("report missing auto-excluded section:\n%s", rep.String())
+	}
+}

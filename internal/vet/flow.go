@@ -1,0 +1,699 @@
+package vet
+
+import (
+	"fmt"
+	"sort"
+
+	"amplify/internal/cc"
+)
+
+// pmask is the abstract state of one pointer-typed location as a
+// powerset: a location may be in several states at a merge point, and
+// the join of two paths is the bit union. The lattice is finite and
+// merges only add bits, so the worklist fixpoint terminates; diagnostic
+// predicates test bit presence and are therefore monotone, which lets
+// the analysis emit (deduplicated) diagnostics during the fixpoint.
+type pmask uint8
+
+const (
+	stUninit  pmask = 1 << iota // never assigned
+	stNull                      // assigned null
+	stFresh                     // holds an allocation made in this body
+	stUnknown                   // parameter, call result, pre-existing value
+	stDeleted                   // delete ran; not reassigned since
+)
+
+func (m pmask) has(bit pmask) bool  { return m&bit != 0 }
+func (m pmask) only(bit pmask) bool { return m == bit }
+
+// astate is the abstract state at one program point: masks for the
+// enclosing class's pointer fields and for pointer locals, plus, for
+// the alias-delete check, which field a local's value was copied from.
+// An empty alias entry is a tombstone: the local held different fields
+// on different paths, so no single alias is claimed (tombstones are
+// never resurrected by merge, keeping the merge monotone).
+type astate struct {
+	fields map[string]pmask
+	locals map[string]pmask
+	alias  map[string]string
+}
+
+func newState() *astate {
+	return &astate{
+		fields: map[string]pmask{},
+		locals: map[string]pmask{},
+		alias:  map[string]string{},
+	}
+}
+
+func (s *astate) clone() *astate {
+	c := newState()
+	for k, v := range s.fields {
+		c.fields[k] = v
+	}
+	for k, v := range s.locals {
+		c.locals[k] = v
+	}
+	for k, v := range s.alias {
+		c.alias[k] = v
+	}
+	return c
+}
+
+// merge unions src into dst and reports whether dst changed.
+func merge(dst, src *astate) bool {
+	changed := false
+	for k, v := range src.fields {
+		if dst.fields[k]|v != dst.fields[k] {
+			dst.fields[k] |= v
+			changed = true
+		}
+	}
+	for k, v := range src.locals {
+		if dst.locals[k]|v != dst.locals[k] {
+			dst.locals[k] |= v
+			changed = true
+		}
+	}
+	for k, v := range src.alias {
+		dv, ok := dst.alias[k]
+		switch {
+		case !ok:
+			dst.alias[k] = v
+			changed = true
+		case dv != v && dv != "":
+			dst.alias[k] = "" // conflicting aliases: tombstone
+			changed = true
+		}
+	}
+	return changed
+}
+
+// aval is the abstract value of an expression.
+type aval struct {
+	m pmask
+	// field is the own-class pointer field whose current value this is
+	// (directly, or through a local alias).
+	field string
+	// local is the pointer local whose current value this is.
+	local string
+	// fromNew marks a fresh allocation made by this very expression.
+	fromNew bool
+}
+
+// funcCtx identifies the body under analysis.
+type funcCtx struct {
+	class  *cc.ClassDecl // nil in free functions
+	method *cc.Method
+	fn     *cc.FuncDecl
+}
+
+func (c funcCtx) isCtor() bool { return c.method != nil && c.method.Kind == cc.Ctor }
+
+func (c funcCtx) className() string {
+	if c.class == nil {
+		return ""
+	}
+	return c.class.Name
+}
+
+func (c funcCtx) name() string {
+	if c.fn != nil {
+		return c.fn.Name
+	}
+	cls := c.method.Class.Name
+	switch c.method.Kind {
+	case cc.Ctor:
+		return cls + "::" + cls
+	case cc.Dtor:
+		return cls + "::~" + cls
+	case cc.OpNew:
+		return cls + "::operator new"
+	case cc.OpDelete:
+		return cls + "::operator delete"
+	}
+	return cls + "::" + c.method.Name
+}
+
+// checker accumulates diagnostics across a whole program.
+type checker struct {
+	prog  *cc.Program
+	diags []Diag
+	seen  map[string]bool
+}
+
+// emit records a diagnostic once per (code, position, field, message).
+func (c *checker) emit(code string, pos cc.Pos, class, fn, field, msg string) {
+	key := fmt.Sprintf("%s|%d|%d|%s|%s", code, pos.Line, pos.Col, field, msg)
+	if c.seen[key] {
+		return
+	}
+	c.seen[key] = true
+	c.diags = append(c.diags, Diag{
+		Code: code, Severity: codeSeverity[code], Pos: pos,
+		Class: class, Func: fn, Field: field, Msg: msg,
+	})
+}
+
+// tracked reports whether a field type takes part in the analysis: a
+// single pointer to a known class, or a data pointer (char*/int*).
+func (c *checker) tracked(t cc.Type) bool {
+	return t.IsClassPointer(c.prog.Classes) || t.IsDataPointer()
+}
+
+// checkClass analyzes every non-synthetic method body, reports
+// pointer fields of constructor-less classes (V001), and reports
+// fields that are allocated but never deleted by any method (V006).
+func (c *checker) checkClass(cd *cc.ClassDecl) {
+	for _, m := range cd.Methods {
+		if m.Synthetic || m.Body == nil {
+			continue
+		}
+		c.checkBody(funcCtx{class: cd, method: m}, m.Body, m.Params)
+	}
+	tracked := c.trackedFields(cd)
+	if cd.Ctor() == nil {
+		for _, f := range tracked {
+			c.emit(CodeCtorUninit, f.Pos, cd.Name, "", f.Name,
+				fmt.Sprintf("class %s has pointer field %s but no constructor; the field starts uninitialized and structure reuse would expose a stale pointer", cd.Name, f.Name))
+		}
+	}
+	c.checkClassLeaks(cd, tracked)
+}
+
+// trackedFields returns the class's analyzable pointer fields in
+// declaration order, skipping synthesized shadow fields.
+func (c *checker) trackedFields(cd *cc.ClassDecl) []*cc.Field {
+	var out []*cc.Field
+	for _, f := range cd.Fields {
+		if !f.Shadow && c.tracked(f.Type) {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// checkClassLeaks reports fields that some method allocates with new
+// but that no method of the class ever deletes: every structure churn
+// then grows the pool without reuse (and leaks in the original).
+func (c *checker) checkClassLeaks(cd *cc.ClassDecl, tracked []*cc.Field) {
+	allocated := map[string]bool{}
+	deleted := map[string]bool{}
+	for _, m := range cd.Methods {
+		if m.Synthetic || m.Body == nil {
+			continue
+		}
+		walkStmt(m.Body, func(s cc.Stmt) {
+			if del, ok := s.(*cc.DeleteStmt); ok {
+				if f := ownField(del.X); f != "" {
+					deleted[f] = true
+				}
+			}
+		}, func(e cc.Expr) {
+			if as, ok := e.(*cc.AssignExpr); ok {
+				switch as.RHS.(type) {
+				case *cc.NewExpr, *cc.NewArray:
+					if f := ownField(as.LHS); f != "" {
+						allocated[f] = true
+					}
+				}
+			}
+		})
+	}
+	for _, f := range tracked {
+		if allocated[f.Name] && !deleted[f.Name] {
+			c.emit(CodeLeak, f.Pos, cd.Name, "", f.Name,
+				fmt.Sprintf("field %s of %s is allocated with new but no method of the class ever deletes it (leak; its structure pool grows without reuse)", f.Name, cd.Name))
+		}
+	}
+}
+
+// ownField returns the name of the own-class field an lvalue names (a
+// bare identifier resolved as a field, or this->name), or "".
+func ownField(e cc.Expr) string {
+	switch e := e.(type) {
+	case *cc.Ident:
+		if e.Kind == cc.FieldIdent {
+			return e.Name
+		}
+	case *cc.FieldAccess:
+		if _, isThis := e.Recv.(*cc.This); isThis {
+			return e.Name
+		}
+	case *cc.Paren:
+		return ownField(e.X)
+	}
+	return ""
+}
+
+// fa is the per-body flow analysis.
+type fa struct {
+	c   *checker
+	ctx funcCtx
+	// fields are the tracked fields of the enclosing class.
+	fields map[string]*cc.Field
+	// localPos remembers declaration positions for leak reports.
+	localPos map[string]cc.Pos
+}
+
+// checkBody runs the dataflow over one function or method body.
+func (c *checker) checkBody(ctx funcCtx, body *cc.Block, params []*cc.Param) {
+	a := &fa{c: c, ctx: ctx, fields: map[string]*cc.Field{}, localPos: map[string]cc.Pos{}}
+	entry := newState()
+	if ctx.class != nil {
+		for _, f := range c.trackedFields(ctx.class) {
+			a.fields[f.Name] = f
+			if ctx.isCtor() {
+				entry.fields[f.Name] = stUninit
+			} else {
+				entry.fields[f.Name] = stUnknown
+			}
+		}
+	}
+	for _, p := range params {
+		if p.Type.IsPointer() {
+			entry.locals[p.Name] = stUnknown
+			a.localPos[p.Name] = p.Pos
+		}
+	}
+
+	g := buildCFG(body)
+	in := map[*block]*astate{g.entry: entry}
+	queued := map[*block]bool{g.entry: true}
+	work := []*block{g.entry}
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		queued[b] = false
+		st := in[b].clone()
+		for _, ins := range b.instrs {
+			a.transfer(st, ins)
+		}
+		for _, succ := range b.succs {
+			changed := false
+			if in[succ] == nil {
+				in[succ] = st.clone()
+				changed = true
+			} else if merge(in[succ], st) {
+				changed = true
+			}
+			if changed && !queued[succ] {
+				queued[succ] = true
+				work = append(work, succ)
+			}
+		}
+	}
+	if ex := in[g.exit]; ex != nil {
+		a.exitChecks(ex)
+	}
+}
+
+// transfer applies one CFG instruction to the state, emitting
+// diagnostics as defects become visible.
+func (a *fa) transfer(st *astate, ins instr) {
+	switch s := ins.(type) {
+	case cond:
+		a.eval(st, s.X)
+	case *cc.VarDecl:
+		v := aval{m: stUninit}
+		if s.Init != nil {
+			v = a.eval(st, s.Init)
+		}
+		if s.Type.IsPointer() {
+			a.localPos[s.Name] = s.Pos
+			a.setLocal(st, s.Name, v)
+		}
+	case *cc.ExprStmt:
+		a.eval(st, s.X)
+	case *cc.DeleteStmt:
+		a.transferDelete(st, s)
+	case *cc.Return:
+		if s.X != nil {
+			v := a.eval(st, s.X)
+			if v.field != "" && a.classPointerField(v.field) {
+				a.c.emit(CodeFieldEscape, s.Pos, a.ctx.className(), a.ctx.name(), v.field,
+					fmt.Sprintf("%s returns pointer field %s; the caller's copy outlives logical deletion and breaks shadow reuse", a.ctx.name(), v.field))
+			}
+			a.moveOwnership(st, v)
+		}
+	case *cc.Spawn:
+		for _, arg := range s.Args {
+			v := a.eval(st, arg)
+			a.argEscape(st, v, cc.ExprPos(arg), "spawned function "+s.Func)
+		}
+	case *cc.Join:
+		// Barrier only; no pointer effects.
+	}
+}
+
+// classPointerField reports whether the named tracked field is a
+// class pointer (escape diagnostics are limited to those; data-array
+// buffers are routinely handed to readers).
+func (a *fa) classPointerField(name string) bool {
+	f, ok := a.fields[name]
+	return ok && f.Type.IsClassPointer(a.c.prog.Classes)
+}
+
+// setLocal strong-updates a pointer local.
+func (a *fa) setLocal(st *astate, name string, v aval) {
+	m := v.m
+	if v.fromNew {
+		m = stFresh
+	}
+	st.locals[name] = m
+	st.alias[name] = v.field
+}
+
+// moveOwnership marks a local's fresh allocation as handed off, so it
+// is no longer reported as leaked at exit.
+func (a *fa) moveOwnership(st *astate, v aval) {
+	if v.local == "" {
+		return
+	}
+	if m, ok := st.locals[v.local]; ok && m.has(stFresh) {
+		st.locals[v.local] = (m &^ stFresh) | stUnknown
+	}
+}
+
+// argEscape handles a value passed out of the body (call argument).
+func (a *fa) argEscape(st *astate, v aval, pos cc.Pos, to string) {
+	if v.field != "" && a.classPointerField(v.field) {
+		a.c.emit(CodeFieldEscape, pos, a.ctx.className(), a.ctx.name(), v.field,
+			fmt.Sprintf("%s passes pointer field %s to %s; an external reference breaks shadow-pointer reuse", a.ctx.name(), v.field, to))
+	}
+	a.moveOwnership(st, v)
+}
+
+// deref reports a dereference of a possibly-deleted pointer (V002).
+func (a *fa) deref(v aval, pos cc.Pos, what string) {
+	if !v.m.has(stDeleted) {
+		return
+	}
+	switch {
+	case v.field != "":
+		a.c.emit(CodeUseAfterDelete, pos, a.ctx.className(), a.ctx.name(), v.field,
+			fmt.Sprintf("%s uses field %s after delete (%s); logical deletion keeps the object alive and would silently mask this", a.ctx.name(), v.field, what))
+	case v.local != "":
+		a.c.emit(CodeUseAfterDelete, pos, "", a.ctx.name(), v.local,
+			fmt.Sprintf("%s uses local %s after delete (%s)", a.ctx.name(), v.local, what))
+	default:
+		a.c.emit(CodeUseAfterDelete, pos, "", a.ctx.name(), "",
+			fmt.Sprintf("%s dereferences a possibly deleted pointer (%s)", a.ctx.name(), what))
+	}
+}
+
+// transferDelete applies a delete statement.
+func (a *fa) transferDelete(st *astate, s *cc.DeleteStmt) {
+	v := a.eval(st, s.X)
+	switch {
+	case v.field != "" && v.local == "":
+		// Direct delete of an own field: the statement the rewriter
+		// turns into logical deletion.
+		old := st.fields[v.field]
+		if old.has(stDeleted) {
+			a.c.emit(CodeDoubleDelete, s.Pos, a.ctx.className(), a.ctx.name(), v.field,
+				fmt.Sprintf("%s deletes field %s which may already be deleted (double delete; after the rewrite the destructor would run twice on the same object)", a.ctx.name(), v.field))
+		}
+		if !old.only(stNull) {
+			st.fields[v.field] = stDeleted
+		}
+	case v.local != "" && v.field != "":
+		// Delete of a field's value through a local alias: not
+		// rewritten by core.Rewrite — pool/heap lifecycle mismatch.
+		a.c.emit(CodeAliasDelete, s.Pos, a.ctx.className(), a.ctx.name(), v.field,
+			fmt.Sprintf("%s deletes field %s through local alias %s; the pre-processor only rewrites deletes that target the field, so the pooled object is freed physically while the field expects logical deletion", a.ctx.name(), v.field, v.local))
+		st.locals[v.local] = stDeleted
+		st.fields[v.field] = stDeleted
+	case v.local != "":
+		old := st.locals[v.local]
+		if old.has(stDeleted) {
+			a.c.emit(CodeDoubleDelete, s.Pos, "", a.ctx.name(), v.local,
+				fmt.Sprintf("%s deletes local %s which may already be deleted (double delete)", a.ctx.name(), v.local))
+		}
+		if !old.only(stNull) {
+			st.locals[v.local] = stDeleted
+		}
+	}
+}
+
+// assign applies an assignment and returns the assigned value.
+func (a *fa) assign(st *astate, lhs cc.Expr, rv aval, pos cc.Pos) aval {
+	switch l := lhs.(type) {
+	case *cc.Paren:
+		return a.assign(st, l.X, rv, pos)
+	case *cc.Ident:
+		if l.Kind == cc.FieldIdent {
+			if _, ok := st.fields[l.Name]; ok {
+				a.assignField(st, l.Name, rv, pos)
+				return aval{m: st.fields[l.Name], field: l.Name}
+			}
+			return rv
+		}
+		if _, ok := st.locals[l.Name]; ok {
+			a.setLocal(st, l.Name, rv)
+			return aval{m: st.locals[l.Name], field: st.alias[l.Name], local: l.Name}
+		}
+		return rv
+	case *cc.FieldAccess:
+		if _, isThis := l.Recv.(*cc.This); isThis {
+			if _, ok := st.fields[l.Name]; ok {
+				a.assignField(st, l.Name, rv, pos)
+				return aval{m: st.fields[l.Name], field: l.Name}
+			}
+			return rv
+		}
+		// Store into another object's field.
+		rcv := a.eval(st, l.Recv)
+		a.deref(rcv, cc.ExprPos(l.Recv), "field store ->"+l.Name)
+		if rv.field != "" && a.classPointerField(rv.field) {
+			a.c.emit(CodeFieldEscape, pos, a.ctx.className(), a.ctx.name(), rv.field,
+				fmt.Sprintf("%s stores pointer field %s into another object; an external reference breaks shadow-pointer reuse", a.ctx.name(), rv.field))
+		}
+		a.moveOwnership(st, rv)
+		return rv
+	case *cc.Index:
+		base := a.eval(st, l.X)
+		a.deref(base, cc.ExprPos(l.X), "indexed store")
+		a.eval(st, l.I)
+		return rv
+	}
+	return rv
+}
+
+// assignField strong-updates an own field, reporting field-to-field
+// aliasing (V005) and overwrite-while-live leaks (V006).
+func (a *fa) assignField(st *astate, name string, rv aval, pos cc.Pos) {
+	if rv.field != "" && rv.field != name {
+		a.c.emit(CodeFieldEscape, pos, a.ctx.className(), a.ctx.name(), name,
+			fmt.Sprintf("%s assigns field %s the value of field %s; two fields sharing one child make shadow-pointer reuse unsound", a.ctx.name(), name, rv.field))
+	}
+	if st.fields[name].has(stFresh) {
+		a.c.emit(CodeLeak, pos, a.ctx.className(), a.ctx.name(), name,
+			fmt.Sprintf("%s overwrites field %s while it may still hold a live allocation (leak)", a.ctx.name(), name))
+	}
+	m := rv.m
+	if rv.fromNew {
+		m = stFresh
+	}
+	st.fields[name] = m
+	a.moveOwnership(st, rv)
+}
+
+// eval computes the abstract value of an expression, applying the
+// effects and checks of everything it evaluates along the way.
+func (a *fa) eval(st *astate, e cc.Expr) aval {
+	switch e := e.(type) {
+	case *cc.IntLit, *cc.StrLit, *cc.This:
+		return aval{m: stUnknown}
+	case *cc.NullLit:
+		return aval{m: stNull}
+	case *cc.Ident:
+		if e.Kind == cc.FieldIdent {
+			if m, ok := st.fields[e.Name]; ok {
+				return aval{m: m, field: e.Name}
+			}
+			return aval{m: stUnknown}
+		}
+		if m, ok := st.locals[e.Name]; ok {
+			return aval{m: m, field: st.alias[e.Name], local: e.Name}
+		}
+		return aval{m: stUnknown}
+	case *cc.Paren:
+		return a.eval(st, e.X)
+	case *cc.Unary:
+		a.eval(st, e.X)
+		return aval{m: stUnknown}
+	case *cc.Binary:
+		a.eval(st, e.X)
+		a.eval(st, e.Y)
+		return aval{m: stUnknown}
+	case *cc.AssignExpr:
+		rv := a.eval(st, e.RHS)
+		return a.assign(st, e.LHS, rv, e.Pos)
+	case *cc.Call:
+		_, intrinsic := cc.Intrinsics[e.Func]
+		for _, arg := range e.Args {
+			v := a.eval(st, arg)
+			if !intrinsic {
+				a.argEscape(st, v, cc.ExprPos(arg), "function "+e.Func)
+			}
+		}
+		return aval{m: stUnknown}
+	case *cc.MethodCall:
+		rv := a.eval(st, e.Recv)
+		a.deref(rv, cc.ExprPos(e.Recv), "receiver of method call "+e.Name)
+		for _, arg := range e.Args {
+			v := a.eval(st, arg)
+			a.argEscape(st, v, cc.ExprPos(arg), "method "+e.Name)
+		}
+		return aval{m: stUnknown}
+	case *cc.DtorCall:
+		rv := a.eval(st, e.Recv)
+		a.deref(rv, cc.ExprPos(e.Recv), "explicit destructor call")
+		return aval{m: stUnknown}
+	case *cc.FieldAccess:
+		if _, isThis := e.Recv.(*cc.This); isThis {
+			if m, ok := st.fields[e.Name]; ok {
+				return aval{m: m, field: e.Name}
+			}
+			return aval{m: stUnknown}
+		}
+		rv := a.eval(st, e.Recv)
+		a.deref(rv, cc.ExprPos(e.Recv), "field access ->"+e.Name)
+		return aval{m: stUnknown}
+	case *cc.Index:
+		base := a.eval(st, e.X)
+		a.deref(base, cc.ExprPos(e.X), "indexing")
+		a.eval(st, e.I)
+		return aval{m: stUnknown}
+	case *cc.NewExpr:
+		if e.Placement != nil {
+			a.eval(st, e.Placement)
+		}
+		for _, arg := range e.Args {
+			v := a.eval(st, arg)
+			a.argEscape(st, v, cc.ExprPos(arg), "constructor of "+e.Class)
+		}
+		return aval{m: stFresh, fromNew: true}
+	case *cc.NewArray:
+		a.eval(st, e.Len)
+		return aval{m: stFresh, fromNew: true}
+	}
+	return aval{m: stUnknown}
+}
+
+// exitChecks runs once over the merged state at the exit block: the
+// constructor-discipline check (V001) and local leak reports (V006).
+func (a *fa) exitChecks(ex *astate) {
+	if a.ctx.isCtor() {
+		names := make([]string, 0, len(a.fields))
+		for name := range a.fields {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			m := ex.fields[name]
+			if !m.has(stUninit) {
+				continue
+			}
+			f := a.fields[name]
+			msg := fmt.Sprintf("a path through %s leaves pointer field %s unassigned; structure reuse would expose a stale pointer instead of fresh-heap garbage", a.ctx.name(), name)
+			if m.only(stUninit) {
+				msg = fmt.Sprintf("%s never assigns pointer field %s; structure reuse would expose a stale pointer instead of fresh-heap garbage", a.ctx.name(), name)
+			}
+			a.c.emit(CodeCtorUninit, f.Pos, a.ctx.className(), a.ctx.name(), name, msg)
+		}
+	}
+	names := make([]string, 0, len(a.localPos))
+	for name := range a.localPos {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if ex.locals[name].has(stFresh) {
+			a.c.emit(CodeLeak, a.localPos[name], "", a.ctx.name(), name,
+				fmt.Sprintf("local %s may still hold its allocation when %s returns (leak)", name, a.ctx.name()))
+		}
+	}
+}
+
+// walkStmt visits every statement and expression under s.
+func walkStmt(s cc.Stmt, sf func(cc.Stmt), ef func(cc.Expr)) {
+	if s == nil {
+		return
+	}
+	sf(s)
+	switch s := s.(type) {
+	case *cc.Block:
+		for _, sub := range s.Stmts {
+			walkStmt(sub, sf, ef)
+		}
+	case *cc.VarDecl:
+		walkExpr(s.Init, ef)
+	case *cc.ExprStmt:
+		walkExpr(s.X, ef)
+	case *cc.If:
+		walkExpr(s.Cond, ef)
+		walkStmt(s.Then, sf, ef)
+		walkStmt(s.Else, sf, ef)
+	case *cc.While:
+		walkExpr(s.Cond, ef)
+		walkStmt(s.Body, sf, ef)
+	case *cc.For:
+		walkStmt(s.Init, sf, ef)
+		walkExpr(s.Cond, ef)
+		walkExpr(s.Post, ef)
+		walkStmt(s.Body, sf, ef)
+	case *cc.Return:
+		walkExpr(s.X, ef)
+	case *cc.DeleteStmt:
+		walkExpr(s.X, ef)
+	case *cc.Spawn:
+		for _, arg := range s.Args {
+			walkExpr(arg, ef)
+		}
+	}
+}
+
+// walkExpr visits every expression under e.
+func walkExpr(e cc.Expr, ef func(cc.Expr)) {
+	if e == nil {
+		return
+	}
+	ef(e)
+	switch e := e.(type) {
+	case *cc.Unary:
+		walkExpr(e.X, ef)
+	case *cc.Binary:
+		walkExpr(e.X, ef)
+		walkExpr(e.Y, ef)
+	case *cc.AssignExpr:
+		walkExpr(e.LHS, ef)
+		walkExpr(e.RHS, ef)
+	case *cc.Call:
+		for _, arg := range e.Args {
+			walkExpr(arg, ef)
+		}
+	case *cc.MethodCall:
+		walkExpr(e.Recv, ef)
+		for _, arg := range e.Args {
+			walkExpr(arg, ef)
+		}
+	case *cc.DtorCall:
+		walkExpr(e.Recv, ef)
+	case *cc.FieldAccess:
+		walkExpr(e.Recv, ef)
+	case *cc.Index:
+		walkExpr(e.X, ef)
+		walkExpr(e.I, ef)
+	case *cc.NewExpr:
+		walkExpr(e.Placement, ef)
+		for _, arg := range e.Args {
+			walkExpr(arg, ef)
+		}
+	case *cc.NewArray:
+		walkExpr(e.Len, ef)
+	case *cc.Paren:
+		walkExpr(e.X, ef)
+	}
+}

@@ -1,0 +1,57 @@
+package vet
+
+import (
+	"testing"
+
+	"amplify/internal/cc"
+)
+
+// FuzzVet feeds arbitrary programs through the analyzer: anything the
+// front end accepts must vet without panicking, and every diagnostic
+// must carry a valid source position, a known code and a consistent
+// severity. Seeds mirror internal/cc's FuzzParse corpus.
+func FuzzVet(f *testing.F) {
+	seeds := []string{
+		"",
+		"int main() { return 0; }",
+		"class A { public: A() { } ~A() { } int x; }; int main() { A* a = new A(); delete a; return a->x; }",
+		"class B { B(int n) { b = new char[n]; } ~B() { delete[] b; } char* b; }; int main() { return 0; }",
+		"void w(int i) { print(i); } int main() { spawn w(1); join; return 0; }",
+		"int main() { for (int i = 0; i < 3; i = i + 1) { while (i) { i = i - 1; } } return 0; }",
+		"int main() { return 1 + 2 * (3 - 4) / 5 % 6; }",
+		"class C { C() { x = new(xShadow) C(); } ~C() { x->~C(); } C* x; C* xShadow; }; int main() { return 0; }",
+		`int main() { print("hi\n\t\\", 1 && 0 || !2); return 0; }`,
+		"/* comment */ int main() { // line\n return 0; }",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := cc.Parse(src)
+		if err != nil {
+			return
+		}
+		if err := cc.Analyze(prog); err != nil {
+			return
+		}
+		res := Check(prog)
+		for _, d := range res.Diags {
+			if d.Pos.Line < 1 || d.Pos.Col < 1 {
+				t.Errorf("diagnostic without a valid position: %+v", d)
+			}
+			name, known := codeNames[d.Code]
+			if !known || name == "" {
+				t.Errorf("diagnostic with unknown code: %+v", d)
+			}
+			if d.Severity != codeSeverity[d.Code] {
+				t.Errorf("severity mismatch for %s: %+v", d.Code, d)
+			}
+		}
+		// Eligibility must agree with the diagnostics it folds.
+		for _, e := range res.Ineligible() {
+			if e.Class == "" || e.Reason == "" {
+				t.Errorf("malformed exclusion %+v", e)
+			}
+		}
+	})
+}
