@@ -7,15 +7,25 @@
 //
 // Flags:
 //
-//	-exp name   one of table1, fig4..fig11, claims, endtoend, or "all"
-//	-quick      smaller runs (coarser thread grid, fewer trees/CDRs)
-//	-list       list experiment names and exit
+//	-exp name     one of table1, fig4..fig11, claims, endtoend, or "all"
+//	-quick        smaller runs (coarser thread grid, fewer trees/CDRs)
+//	-list         list experiment names and exit
+//	-j N          run up to N independent simulations concurrently
+//	              (default: the host's CPU count; output is identical
+//	              for every N — only wall-clock changes)
+//	-json         emit a machine-readable BENCH report (schema
+//	              amplify-bench/1) on stdout instead of text
+//	-cpuprofile f write a pprof CPU profile of the whole run to f
+//	-memprofile f write a pprof heap profile (post-GC) to f
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -23,24 +33,90 @@ import (
 )
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "amplifybench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
 	exp := flag.String("exp", "all", "experiment to run (see -list)")
 	quick := flag.Bool("quick", false, "reduced experiment sizes")
 	list := flag.Bool("list", false, "list experiments")
 	format := flag.String("format", "text", "text | csv | chart (figures only)")
+	jobs := flag.Int("j", runtime.NumCPU(), "max concurrent simulations")
+	jsonOut := flag.Bool("json", false, "emit machine-readable report on stdout")
+	cpuprofile := flag.String("cpuprofile", "", "write CPU profile to file")
+	memprofile := flag.String("memprofile", "", "write heap profile to file")
 	flag.Parse()
 
 	names := append(bench.Names(), "endtoend")
 	if *list {
 		fmt.Println(strings.Join(names, "\n"))
-		return
+		return nil
 	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+
 	r := bench.NewRunner(*quick)
+	r.Jobs = *jobs
 	var todo []string
 	if *exp == "all" {
 		todo = []string{"table1", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "claims", "memory", "pipeline", "sensitivity", "endtoend"}
 	} else {
 		todo = strings.Split(*exp, ",")
 	}
+
+	start := time.Now()
+	// Warm the memo with up to -j concurrent simulations; each
+	// experiment below then reduces to table formatting over the same
+	// cells a sequential run would compute, in the same order.
+	if *jobs > 1 {
+		if err := r.Precompute(todo); err != nil {
+			return err
+		}
+	}
+
+	if *jsonOut {
+		rep, err := r.Report(todo)
+		if err != nil {
+			return err
+		}
+		rep.WallSeconds = time.Since(start).Seconds()
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			return err
+		}
+	} else if err := runText(r, todo, *format); err != nil {
+		return err
+	}
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func runText(r *bench.Runner, todo []string, format string) error {
 	for i, name := range todo {
 		if i > 0 {
 			fmt.Println()
@@ -49,12 +125,12 @@ func main() {
 		var out string
 		var err error
 		switch {
-		case name == "endtoend":
+		case name == "endtoend" && format == "text":
 			out, err = r.EndToEnd()
-		case (*format == "csv" || *format == "chart") && strings.HasPrefix(name, "fig"):
+		case (format == "csv" || format == "chart") && (strings.HasPrefix(name, "fig") || name == "endtoend"):
 			var f *bench.Figure
 			f, err = r.Figure(name)
-			if err == nil && *format == "csv" {
+			if err == nil && format == "csv" {
 				out = f.CSV()
 			} else if err == nil {
 				out = f.Chart(16)
@@ -63,12 +139,12 @@ func main() {
 			out, err = r.Run(name)
 		}
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "amplifybench:", err)
-			os.Exit(1)
+			return err
 		}
 		fmt.Print(out)
-		if *format != "csv" {
+		if format != "csv" {
 			fmt.Printf("[%s regenerated in %.1fs]\n", name, time.Since(start).Seconds())
 		}
 	}
+	return nil
 }

@@ -27,7 +27,10 @@ const (
 )
 
 // Runner executes experiments, memoizing workload runs so the scaleup
-// figures reuse the speedup figures' measurements.
+// figures reuse the speedup figures' measurements. A Runner is safe for
+// concurrent use: the memo is a singleflight store, so Precompute can
+// warm cells on a worker pool while (or before) experiments assemble
+// their tables from it.
 type Runner struct {
 	// Trees per synthetic run and CDRs per BGw run.
 	Trees int
@@ -37,22 +40,15 @@ type Runner struct {
 	Threads     []int
 	WideThreads []int
 	BGwThreads  []int
+	// Jobs bounds how many simulations Precompute (and the internally
+	// parallel experiments) run concurrently on the host. 0 or 1 means
+	// sequential. Parallelism never changes results: every simulation
+	// is an isolated virtual machine, and output is assembled from the
+	// memo by key, not by completion order.
+	Jobs int
 
-	memo    map[memoKey]workload.Result
-	bgwMemo map[bgwKey]bgw.Result
-}
-
-type memoKey struct {
-	strategy string
-	depth    int
-	threads  int
-}
-
-type bgwKey struct {
-	strategy string
-	amplify  bool
-	objects  bool
-	threads  int
+	quick bool
+	cells cellStore
 }
 
 // NewRunner returns a Runner with the full experiment sizes, or reduced
@@ -64,8 +60,7 @@ func NewRunner(quick bool) *Runner {
 		Threads:     []int{1, 2, 3, 4, 5, 6, 7, 8},
 		WideThreads: []int{1, 2, 4, 6, 8, 10, 12, 14, 16},
 		BGwThreads:  []int{1, 2, 4, 6, 8},
-		memo:        make(map[memoKey]workload.Result),
-		bgwMemo:     make(map[bgwKey]bgw.Result),
+		quick:       quick,
 	}
 	if quick {
 		r.Trees = 1200
@@ -79,22 +74,26 @@ func NewRunner(quick bool) *Runner {
 
 // run executes (or recalls) one synthetic tree run.
 func (r *Runner) run(strategy string, depth, threads int) (workload.Result, error) {
-	k := memoKey{strategy, depth, threads}
-	if res, ok := r.memo[k]; ok {
-		return res, nil
-	}
-	res, err := workload.RunTree(strategy, workload.TreeConfig{
-		Depth:    depth,
-		Trees:    r.Trees,
-		Threads:  threads,
-		InitWork: InitWork,
-		UseWork:  UseWork,
+	return r.runAt(strategy, depth, threads, 0)
+}
+
+// runAt executes (or recalls) one synthetic tree run on a machine with
+// the given processor count (0 means the default 8).
+func (r *Runner) runAt(strategy string, depth, threads, procs int) (workload.Result, error) {
+	v, err := r.cells.do(treeKey(strategy, depth, threads, procs), func() (any, error) {
+		return workload.RunTree(strategy, workload.TreeConfig{
+			Depth:      depth,
+			Trees:      r.Trees,
+			Threads:    threads,
+			Processors: procs,
+			InitWork:   InitWork,
+			UseWork:    UseWork,
+		})
 	})
 	if err != nil {
-		return res, err
+		return workload.Result{}, err
 	}
-	r.memo[k] = res
-	return res, nil
+	return v.(workload.Result), nil
 }
 
 // Speedup is the paper's metric: execution time of one thread under the
@@ -113,22 +112,20 @@ func (r *Runner) Speedup(strategy string, depth, threads int) (float64, error) {
 
 // runBGw executes (or recalls) one BGw run.
 func (r *Runner) runBGw(strategy string, amplify, objects bool, threads int) (bgw.Result, error) {
-	k := bgwKey{strategy, amplify, objects, threads}
-	if res, ok := r.bgwMemo[k]; ok {
-		return res, nil
-	}
-	res, err := bgw.Run(bgw.Config{
-		CDRs:       r.CDRs,
-		Threads:    threads,
-		Strategy:   strategy,
-		Amplify:    amplify,
-		ObjectsToo: objects,
+	key := fmt.Sprintf("bgw/%s/amplify%v/objects%v/threads%d", strategy, amplify, objects, threads)
+	v, err := r.cells.do(key, func() (any, error) {
+		return bgw.Run(bgw.Config{
+			CDRs:       r.CDRs,
+			Threads:    threads,
+			Strategy:   strategy,
+			Amplify:    amplify,
+			ObjectsToo: objects,
+		})
 	})
 	if err != nil {
-		return res, err
+		return bgw.Result{}, err
 	}
-	r.bgwMemo[k] = res
-	return res, nil
+	return v.(bgw.Result), nil
 }
 
 // Series is one plotted line: a method and its value per x-axis entry.
@@ -210,6 +207,8 @@ func (r *Runner) Figure(name string) (*Figure, error) {
 		return r.HandmadeFigure()
 	case "fig11":
 		return r.BGwFigure()
+	case "endtoend":
+		return r.EndToEndFigure()
 	}
 	return nil, fmt.Errorf("bench: %q has no figure data", name)
 }
@@ -308,6 +307,22 @@ func (r *Runner) HandmadeFigure() (*Figure, error) {
 	return f, nil
 }
 
+// bgwVariant is one plotted line of Figure 11.
+type bgwVariant struct {
+	name             string
+	strategy         string
+	amplify, objects bool
+}
+
+func bgwVariants() []bgwVariant {
+	return []bgwVariant{
+		{"serial", "serial", false, false},
+		{"amplify alone", "serial", true, true},
+		{"smartheap", "smartheap", false, false},
+		{"smartheap+amplify", "smartheap", true, false},
+	}
+}
+
 // BGwFigure reproduces Figure 11: BGw CDR-processing speedup with
 // SmartHeap alone and SmartHeap combined with Amplify (plus the serial
 // allocator and Amplify-alone context the section discusses).
@@ -323,17 +338,7 @@ func (r *Runner) BGwFigure() (*Figure, error) {
 		YLabel: "speedup vs 1-thread standard heap",
 		X:      r.BGwThreads,
 	}
-	type variant struct {
-		name             string
-		strategy         string
-		amplify, objects bool
-	}
-	for _, v := range []variant{
-		{"serial", "serial", false, false},
-		{"amplify alone", "serial", true, true},
-		{"smartheap", "smartheap", false, false},
-		{"smartheap+amplify", "smartheap", true, false},
-	} {
+	for _, v := range bgwVariants() {
 		vals := make([]float64, 0, len(r.BGwThreads))
 		for _, th := range r.BGwThreads {
 			res, err := r.runBGw(v.strategy, v.amplify, v.objects, th)
@@ -487,6 +492,8 @@ func (r *Runner) Run(name string) (string, error) {
 		return r.Pipeline()
 	case "sensitivity":
 		return r.Sensitivity()
+	case "endtoend":
+		return r.EndToEnd()
 	default:
 		return "", fmt.Errorf("bench: unknown experiment %q (have %v)", name, Names())
 	}

@@ -97,12 +97,12 @@ func TestScaleupReusesMemoizedRuns(t *testing.T) {
 	if _, err := r.SpeedupFigure(2); err != nil {
 		t.Fatal(err)
 	}
-	before := len(r.memo)
+	before := r.cells.len()
 	if _, err := r.ScaleupFigure(2); err != nil {
 		t.Fatal(err)
 	}
-	if len(r.memo) != before {
-		t.Errorf("scaleup re-ran workloads: memo grew %d -> %d", before, len(r.memo))
+	if r.cells.len() != before {
+		t.Errorf("scaleup re-ran workloads: memo grew %d -> %d", before, r.cells.len())
 	}
 }
 

@@ -1,0 +1,125 @@
+package bench
+
+import (
+	"runtime"
+	"strings"
+	"time"
+
+	"amplify/internal/bgw"
+	"amplify/internal/workload"
+)
+
+// ReportSchema identifies the BENCH.json layout; bump on incompatible
+// changes so trajectory tooling can dispatch on it.
+const ReportSchema = "amplify-bench/1"
+
+// Report is the machine-readable record of one amplifybench
+// invocation: what ran, how long the host took, and every simulated
+// makespan the experiments measured. Committed snapshots of this
+// struct (BENCH_baseline.json) form the bench trajectory of the repo.
+type Report struct {
+	Schema      string             `json:"schema"`
+	Quick       bool               `json:"quick"`
+	Jobs        int                `json:"jobs"`
+	HostCPUs    int                `json:"host_cpus"`
+	WallSeconds float64            `json:"wall_seconds"`
+	Experiments []ExperimentReport `json:"experiments"`
+	// Makespans maps every memoized simulation cell to its virtual-time
+	// makespan. These are deterministic: they must not change across
+	// hosts, -j values, or reruns — only across semantic changes to the
+	// simulator or workloads.
+	Makespans map[string]int64 `json:"makespans"`
+}
+
+// ExperimentReport records one experiment: host wall-clock spent
+// assembling it, and — for figures — the plotted series plus the
+// headline speedup.
+type ExperimentReport struct {
+	Name        string         `json:"name"`
+	WallSeconds float64        `json:"wall_seconds"`
+	X           []int          `json:"x,omitempty"`
+	Series      []SeriesReport `json:"series,omitempty"`
+	Headline    *Headline      `json:"headline,omitempty"`
+}
+
+// SeriesReport is one plotted line of a figure.
+type SeriesReport struct {
+	Name   string    `json:"name"`
+	Values []float64 `json:"values"`
+}
+
+// Headline is a figure's best speedup: which series reached it and at
+// which x value.
+type Headline struct {
+	Series  string  `json:"series"`
+	X       int     `json:"x"`
+	Speedup float64 `json:"speedup"`
+}
+
+// Report runs the named experiments and assembles their
+// machine-readable record. Cells already warmed by Precompute are
+// recalled from the memo, so per-experiment wall times then measure
+// assembly only; WallSeconds of the whole report is left for the
+// caller to stamp (it should cover Precompute too).
+func (r *Runner) Report(names []string) (*Report, error) {
+	rep := &Report{
+		Schema:   ReportSchema,
+		Quick:    r.quick,
+		Jobs:     r.Jobs,
+		HostCPUs: runtime.NumCPU(),
+	}
+	for _, name := range names {
+		start := time.Now()
+		er := ExperimentReport{Name: name}
+		if strings.HasPrefix(name, "fig") || name == "endtoend" {
+			f, err := r.Figure(name)
+			if err != nil {
+				return nil, err
+			}
+			er.X = f.X
+			for _, s := range f.Series {
+				er.Series = append(er.Series, SeriesReport{Name: s.Name, Values: s.Values})
+			}
+			er.Headline = headlineOf(f)
+		} else if _, err := r.Run(name); err != nil {
+			return nil, err
+		}
+		er.WallSeconds = time.Since(start).Seconds()
+		rep.Experiments = append(rep.Experiments, er)
+	}
+	rep.Makespans = r.Makespans()
+	return rep, nil
+}
+
+// headlineOf picks the figure's best speedup across all series.
+func headlineOf(f *Figure) *Headline {
+	var h *Headline
+	for _, s := range f.Series {
+		for i, v := range s.Values {
+			if h == nil || v > h.Speedup {
+				h = &Headline{Series: s.Name, X: f.X[i], Speedup: v}
+			}
+		}
+	}
+	return h
+}
+
+// Makespans extracts the simulated makespan of every completed memo
+// cell, keyed by cell name. encoding/json emits map keys sorted, so
+// the serialized form is stable for diffing across runs.
+func (r *Runner) Makespans() map[string]int64 {
+	m := make(map[string]int64)
+	r.cells.completed(func(key string, val any) {
+		switch v := val.(type) {
+		case workload.Result:
+			m[key] = v.Makespan
+		case bgw.Result:
+			m[key] = v.Makespan
+		case bgw.PipelineResult:
+			m[key] = v.Makespan
+		case e2eResult:
+			m[key] = v.Makespan
+		}
+	})
+	return m
+}

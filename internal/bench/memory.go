@@ -49,11 +49,7 @@ func (r *Runner) Memory() (string, error) {
 
 	// Limiter effect on a workload that would otherwise retain many
 	// structures: a capped pool releases the excess.
-	capped, err := workload.RunTree("amplify", workload.TreeConfig{
-		Depth: 3, Trees: r.Trees, Threads: 8,
-		InitWork: InitWork, UseWork: UseWork,
-		Pool: pool.Config{MaxObjects: 1},
-	})
+	capped, err := r.runCappedTree()
 	if err != nil {
 		return "", err
 	}
@@ -68,10 +64,7 @@ func (r *Runner) Memory() (string, error) {
 	if err != nil {
 		return "", err
 	}
-	cappedBGw, err := bgw.Run(bgw.Config{
-		CDRs: r.CDRs, Threads: 4, Strategy: "smartheap", Amplify: true,
-		Pool: pool.Config{MaxShadowBytes: 64},
-	})
+	cappedBGw, err := r.runShadowCappedBGw()
 	if err != nil {
 		return "", err
 	}
@@ -82,4 +75,34 @@ func (r *Runner) Memory() (string, error) {
 
 	fmt.Fprintf(&b, "shadow-realloc guarantee: repeated reallocation consumes at most twice the live size (property-tested in internal/pool)\n")
 	return b.String(), nil
+}
+
+// runCappedTree executes (or recalls) the MaxObjects=1 limiter run.
+func (r *Runner) runCappedTree() (workload.Result, error) {
+	v, err := r.cells.do("tree-capped/amplify/depth3/threads8/max1", func() (any, error) {
+		return workload.RunTree("amplify", workload.TreeConfig{
+			Depth: 3, Trees: r.Trees, Threads: 8,
+			InitWork: InitWork, UseWork: UseWork,
+			Pool: pool.Config{MaxObjects: 1},
+		})
+	})
+	if err != nil {
+		return workload.Result{}, err
+	}
+	return v.(workload.Result), nil
+}
+
+// runShadowCappedBGw executes (or recalls) the MaxShadowBytes=64
+// limiter run.
+func (r *Runner) runShadowCappedBGw() (bgw.Result, error) {
+	v, err := r.cells.do("bgw-shadowcap/smartheap/threads4/cap64", func() (any, error) {
+		return bgw.Run(bgw.Config{
+			CDRs: r.CDRs, Threads: 4, Strategy: "smartheap", Amplify: true,
+			Pool: pool.Config{MaxShadowBytes: 64},
+		})
+	})
+	if err != nil {
+		return bgw.Result{}, err
+	}
+	return v.(bgw.Result), nil
 }

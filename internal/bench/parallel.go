@@ -1,0 +1,235 @@
+package bench
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// cellStore is the Runner's memo: a concurrency-safe, lazily
+// initialized, singleflight map from cell key to measurement. Every
+// expensive simulation an experiment needs — a tree run, a BGw run, a
+// pipeline run, an end-to-end program execution — is one cell. The
+// first caller of a key computes it; concurrent callers of the same key
+// block on that computation instead of repeating it (the scaleup
+// figures therefore still reuse the speedup figures' measurements, even
+// when both are being assembled at once); later callers get the
+// memoized value. The map itself is created on first use, so a
+// zero-value Runner used directly — bypassing the worker pool — is
+// safe too.
+type cellStore struct {
+	mu sync.Mutex
+	m  map[string]*cellEntry
+}
+
+type cellEntry struct {
+	once sync.Once
+	done atomic.Bool
+	val  any
+	err  error
+}
+
+// do returns the memoized value for key, computing it at most once.
+func (s *cellStore) do(key string, compute func() (any, error)) (any, error) {
+	s.mu.Lock()
+	if s.m == nil {
+		s.m = make(map[string]*cellEntry)
+	}
+	e := s.m[key]
+	if e == nil {
+		e = &cellEntry{}
+		s.m[key] = e
+	}
+	s.mu.Unlock()
+	e.once.Do(func() {
+		e.val, e.err = compute()
+		e.done.Store(true)
+	})
+	return e.val, e.err
+}
+
+// len reports the number of keys ever requested.
+func (s *cellStore) len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.m)
+}
+
+// completed visits every successfully computed cell. Entries whose
+// computation is still in flight (or failed) are skipped; the done flag
+// publishes val with the necessary happens-before edge.
+func (s *cellStore) completed(visit func(key string, val any)) {
+	s.mu.Lock()
+	entries := make(map[string]*cellEntry, len(s.m))
+	for k, e := range s.m {
+		entries[k] = e
+	}
+	s.mu.Unlock()
+	for k, e := range entries {
+		if e.done.Load() && e.err == nil {
+			visit(k, e.val)
+		}
+	}
+}
+
+// parallelDo runs the tasks on a bounded pool of r.Jobs goroutines
+// (sequentially when Jobs <= 1) and returns the first error.
+func (r *Runner) parallelDo(tasks []func() error) error {
+	jobs := r.Jobs
+	if jobs > len(tasks) {
+		jobs = len(tasks)
+	}
+	if jobs <= 1 {
+		for _, task := range tasks {
+			if err := task(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		wg       sync.WaitGroup
+		sem      = make(chan struct{}, jobs)
+		mu       sync.Mutex
+		firstErr error
+	)
+	for _, task := range tasks {
+		sem <- struct{}{}
+		wg.Add(1)
+		go func() {
+			defer func() {
+				<-sem
+				wg.Done()
+			}()
+			if err := task(); err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// Precompute warms every memoized cell the named experiments will
+// read, running up to r.Jobs simulations concurrently. Experiment
+// assembly afterwards finds all of its measurements in the memo and
+// reduces to table formatting, so the rendered output is byte-identical
+// to a sequential run: results are gathered by key, never by completion
+// order. Precompute is optional — any cell it misses is simply computed
+// (sequentially) during assembly.
+func (r *Runner) Precompute(names []string) error {
+	var tasks []func() error
+	for _, name := range names {
+		tasks = append(tasks, r.cellTasks(name)...)
+	}
+	return r.parallelDo(tasks)
+}
+
+// cellTasks enumerates the expensive cells of one experiment, as
+// idempotent closures against the memo. The enumeration only needs to
+// be a superset-free *warm-up list*, not an exact contract: a missing
+// cell costs sequential time during assembly, never a different
+// result.
+func (r *Runner) cellTasks(name string) []func() error {
+	var tasks []func() error
+	tree := func(strategy string, depth, threads, procs int) {
+		tasks = append(tasks, func() error {
+			_, err := r.runAt(strategy, depth, threads, procs)
+			return err
+		})
+	}
+	bgwCell := func(strategy string, amplify, objects bool, threads int) {
+		tasks = append(tasks, func() error {
+			_, err := r.runBGw(strategy, amplify, objects, threads)
+			return err
+		})
+	}
+	speedupCells := func(testCase int, strategies []string, grid []int) {
+		depth := depthOfCase(testCase)
+		tree("serial", depth, 1, 0) // shared baseline
+		for _, s := range strategies {
+			for _, th := range grid {
+				tree(s, depth, th, 0)
+			}
+		}
+	}
+	bgwFigureCells := func() {
+		for _, v := range bgwVariants() {
+			for _, th := range r.BGwThreads {
+				bgwCell(v.strategy, v.amplify, v.objects, th)
+			}
+		}
+	}
+
+	switch name {
+	case "fig4", "fig5", "fig6", "fig7", "fig8", "fig9":
+		tc := int(name[3] - '3')
+		if tc > 3 {
+			tc -= 3 // scaleup figures reuse the speedup measurements
+		}
+		speedupCells(tc, []string{"ptmalloc", "hoard", "amplify"}, r.Threads)
+	case "fig10":
+		speedupCells(2, []string{"ptmalloc", "hoard", "amplify", "handmade"}, r.WideThreads)
+	case "fig11":
+		bgwFigureCells()
+	case "claims":
+		for tc := 1; tc <= 3; tc++ {
+			speedupCells(tc, []string{"ptmalloc", "hoard", "amplify"}, r.Threads)
+		}
+		bgwCell("serial", false, false, 2)
+		bgwCell("smartheap", true, false, 2)
+	case "memory":
+		for _, s := range []string{"serial", "ptmalloc", "hoard", "amplify", "handmade"} {
+			for _, depth := range []int{1, 3, 5} {
+				tree(s, depth, 8, 0)
+			}
+		}
+		tasks = append(tasks, func() error {
+			_, err := r.runCappedTree()
+			return err
+		})
+		bgwCell("smartheap", true, false, 4)
+		tasks = append(tasks, func() error {
+			_, err := r.runShadowCappedBGw()
+			return err
+		})
+	case "pipeline":
+		for _, v := range pipelineVariants() {
+			for _, w := range pipelineWorkerGrid {
+				tasks = append(tasks, func() error {
+					_, err := r.runPipeline(w, v.amplify, v.steal)
+					return err
+				})
+			}
+		}
+	case "sensitivity":
+		for _, p := range sensitivityProcs {
+			tree("serial", 3, 1, p)
+			for _, s := range sensitivityStrategies {
+				tree(s, 3, p, p)
+			}
+		}
+	case "endtoend":
+		for _, c := range r.endToEndCells() {
+			tasks = append(tasks, func() error {
+				_, err := r.runEndToEndCell(c)
+				return err
+			})
+		}
+	}
+	return tasks
+}
+
+// treeKey names a synthetic tree cell. procs 0 is canonicalized to the
+// default 8-processor machine so the sensitivity sweep's 8P column
+// shares the speedup figures' measurements.
+func treeKey(strategy string, depth, threads, procs int) string {
+	if procs == 0 {
+		procs = 8
+	}
+	return fmt.Sprintf("tree/%s/depth%d/threads%d/procs%d", strategy, depth, threads, procs)
+}

@@ -1,0 +1,129 @@
+package bench
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// microRunner is smaller still than tinyRunner: just enough work to
+// exercise every cell family.
+func microRunner() *Runner {
+	r := NewRunner(true)
+	r.Trees = 200
+	r.CDRs = 200
+	r.Threads = []int{1, 2}
+	r.WideThreads = []int{1, 4}
+	r.BGwThreads = []int{1, 2}
+	return r
+}
+
+// TestParallelFiguresMatchSequential is the harness's equivalence
+// regression: the rendered output of every experiment family must be
+// byte-identical whether the memo was warmed by one worker or by
+// eight. One experiment per cell family keeps the cost bounded; the
+// assembly code is shared by the rest.
+func TestParallelFiguresMatchSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every experiment family twice")
+	}
+	names := []string{"fig4", "fig10", "fig11", "memory", "pipeline", "sensitivity", "endtoend"}
+
+	seq := microRunner()
+	seq.Jobs = 1
+	par := microRunner()
+	par.Jobs = 8
+	if err := par.Precompute(names); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range names {
+		want, err := seq.Run(name)
+		if err != nil {
+			t.Fatalf("sequential %s: %v", name, err)
+		}
+		got, err := par.Run(name)
+		if err != nil {
+			t.Fatalf("parallel %s: %v", name, err)
+		}
+		if want != got {
+			t.Errorf("%s differs between -j 1 and -j 8:\n--- j1 ---\n%s\n--- j8 ---\n%s", name, want, got)
+		}
+	}
+}
+
+// TestConcurrentDirectRunnerCalls hammers the memo from goroutines
+// that bypass the worker pool entirely — callers using Runner as a
+// library. Under -race this proves the lazy-init singleflight map and
+// the simulators' statistics (lock counters, failed trylocks) are
+// safe to read concurrently. Everyone asking for the same cell must
+// get the same measurement.
+func TestConcurrentDirectRunnerCalls(t *testing.T) {
+	r := microRunner()
+	const callers = 8
+	makespans := make([]int64, callers)
+	tryLocks := make([]int64, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, err := r.run("amplify", 1, 2)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			makespans[i] = res.Makespan
+			tryLocks[i] = res.FailedTryLocks
+			if _, err := r.runBGw("smartheap", true, false, 2); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	for i := 1; i < callers; i++ {
+		if makespans[i] != makespans[0] || tryLocks[i] != tryLocks[0] {
+			t.Fatalf("caller %d saw (makespan %d, trylocks %d), caller 0 saw (%d, %d)",
+				i, makespans[i], tryLocks[i], makespans[0], tryLocks[0])
+		}
+	}
+	if n := r.cells.len(); n != 2 {
+		t.Errorf("memo has %d cells, want 2 (singleflight collapsed the callers)", n)
+	}
+}
+
+func TestReport(t *testing.T) {
+	r := microRunner()
+	r.Jobs = 2
+	names := []string{"table1", "fig4"}
+	if err := r.Precompute(names); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := r.Report(names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != ReportSchema {
+		t.Errorf("schema = %q", rep.Schema)
+	}
+	if len(rep.Experiments) != 2 {
+		t.Fatalf("experiments = %d", len(rep.Experiments))
+	}
+	fig4 := rep.Experiments[1]
+	if fig4.Headline == nil || fig4.Headline.Speedup <= 0 {
+		t.Error("fig4 missing headline speedup")
+	}
+	if len(fig4.Series) != 3 {
+		t.Errorf("fig4 series = %d, want 3", len(fig4.Series))
+	}
+	if len(rep.Makespans) == 0 {
+		t.Error("no makespans recorded")
+	}
+	for k, v := range rep.Makespans {
+		if v <= 0 {
+			t.Errorf("cell %s has non-positive makespan %d", k, v)
+		}
+		if !strings.ContainsRune(k, '/') {
+			t.Errorf("cell key %q not namespaced", k)
+		}
+	}
+}

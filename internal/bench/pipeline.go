@@ -8,6 +8,40 @@ import (
 	"amplify/internal/pool"
 )
 
+// pipelineVariant is one row of the pipeline extension experiment.
+type pipelineVariant struct {
+	name           string
+	amplify, steal bool
+}
+
+func pipelineVariants() []pipelineVariant {
+	return []pipelineVariant{
+		{"smartheap", false, false},
+		{"+amplify (no steal)", true, false},
+		{"+amplify +steal", true, true},
+	}
+}
+
+var pipelineWorkerGrid = []int{1, 2, 4, 7}
+
+// runPipeline executes (or recalls) one pipeline-BGw run. The pool
+// configuration is fixed (MaxObjects 64) and only read by the
+// amplified variants.
+func (r *Runner) runPipeline(workers int, amplify, steal bool) (bgw.PipelineResult, error) {
+	key := fmt.Sprintf("pipe/smartheap/amplify%v/steal%v/workers%d", amplify, steal, workers)
+	v, err := r.cells.do(key, func() (any, error) {
+		return bgw.RunPipeline(bgw.PipelineConfig{
+			CDRs: r.CDRs, Workers: workers, Strategy: "smartheap",
+			Amplify: amplify, Steal: steal,
+			Pool: pool.Config{MaxObjects: 64},
+		})
+	})
+	if err != nil {
+		return bgw.PipelineResult{}, err
+	}
+	return v.(bgw.PipelineResult), nil
+}
+
 // Pipeline is an extension experiment: BGw restructured as the
 // producer/consumer flow the paper describes (one parser thread feeding
 // processing threads through a bounded queue). It demonstrates a
@@ -19,34 +53,20 @@ func (r *Runner) Pipeline() (string, error) {
 	b.WriteString("Pipeline BGw (extension): parser -> queue -> processors\n")
 	fmt.Fprintf(&b, "%d CDRs, 8 simulated CPUs; speedup vs 1-worker plain smartheap\n\n", r.CDRs)
 
-	base, err := bgw.RunPipeline(bgw.PipelineConfig{CDRs: r.CDRs, Workers: 1, Strategy: "smartheap"})
+	base, err := r.runPipeline(1, false, false)
 	if err != nil {
 		return "", err
 	}
-	type variant struct {
-		name           string
-		amplify, steal bool
-	}
-	variants := []variant{
-		{"smartheap", false, false},
-		{"+amplify (no steal)", true, false},
-		{"+amplify +steal", true, true},
-	}
-	workerGrid := []int{1, 2, 4, 7}
 	fmt.Fprintf(&b, "%-22s", "workers")
-	for _, w := range workerGrid {
+	for _, w := range pipelineWorkerGrid {
 		fmt.Fprintf(&b, "%8d", w)
 	}
 	b.WriteString("\n")
-	for _, v := range variants {
+	for _, v := range pipelineVariants() {
 		fmt.Fprintf(&b, "%-22s", v.name)
 		var last bgw.PipelineResult
-		for _, w := range workerGrid {
-			res, err := bgw.RunPipeline(bgw.PipelineConfig{
-				CDRs: r.CDRs, Workers: w, Strategy: "smartheap",
-				Amplify: v.amplify, Steal: v.steal,
-				Pool: pool.Config{MaxObjects: 64},
-			})
+		for _, w := range pipelineWorkerGrid {
+			res, err := r.runPipeline(w, v.amplify, v.steal)
 			if err != nil {
 				return "", err
 			}

@@ -3,8 +3,11 @@ package bench
 import (
 	"fmt"
 	"strings"
+)
 
-	"amplify/internal/workload"
+var (
+	sensitivityProcs      = []int{2, 4, 8, 16}
+	sensitivityStrategies = []string{"serial", "ptmalloc", "hoard", "amplify"}
 )
 
 // Sensitivity is an extension experiment: the paper's machines had 8
@@ -15,39 +18,30 @@ import (
 // allocators track P, and Amplify's advantage widens because its
 // critical sections are the shortest.
 func (r *Runner) Sensitivity() (string, error) {
-	procs := []int{2, 4, 8, 16}
-	strategies := []string{"serial", "ptmalloc", "hoard", "amplify"}
-
 	var b strings.Builder
 	b.WriteString("Processor-count sensitivity (extension): test case 2, threads = processors\n")
 	b.WriteString("(speedup vs 1 thread on the standard heap of the same machine)\n\n")
 	fmt.Fprintf(&b, "%-11s", "processors")
-	for _, p := range procs {
+	for _, p := range sensitivityProcs {
 		fmt.Fprintf(&b, "%8d", p)
 	}
 	b.WriteString("\n")
 
 	values := map[string][]float64{}
-	for _, p := range procs {
-		base, err := workload.RunTree("serial", workload.TreeConfig{
-			Depth: 3, Trees: r.Trees, Threads: 1, Processors: p,
-			InitWork: InitWork, UseWork: UseWork,
-		})
+	for _, p := range sensitivityProcs {
+		base, err := r.runAt("serial", 3, 1, p)
 		if err != nil {
 			return "", err
 		}
-		for _, s := range strategies {
-			res, err := workload.RunTree(s, workload.TreeConfig{
-				Depth: 3, Trees: r.Trees, Threads: p, Processors: p,
-				InitWork: InitWork, UseWork: UseWork,
-			})
+		for _, s := range sensitivityStrategies {
+			res, err := r.runAt(s, 3, p, p)
 			if err != nil {
 				return "", err
 			}
 			values[s] = append(values[s], float64(base.Makespan)/float64(res.Makespan))
 		}
 	}
-	for _, s := range strategies {
+	for _, s := range sensitivityStrategies {
 		fmt.Fprintf(&b, "%-11s", s)
 		for _, v := range values[s] {
 			fmt.Fprintf(&b, "%8.2f", v)
@@ -57,7 +51,7 @@ func (r *Runner) Sensitivity() (string, error) {
 	// The headline trend: Amplify's margin over the best C-library
 	// allocator per machine width.
 	b.WriteString("\namplify advantage over the better of ptmalloc/hoard:")
-	for i, p := range procs {
+	for i, p := range sensitivityProcs {
 		best := values["ptmalloc"][i]
 		if values["hoard"][i] > best {
 			best = values["hoard"][i]

@@ -37,15 +37,7 @@ func (e *Engine) NewChannel(name string, capacity int) *Channel {
 
 // wake makes w runnable at the caller's time plus the handoff latency.
 func (ch *Channel) wake(t *Thread, w *Thread) {
-	if t.clock > w.clock {
-		w.clock = t.clock
-	}
-	w.clock += ch.e.cost.LockHandoff
-	w.state = stateReady
-	ch.e.running++
-	if w.clock < t.lease {
-		t.lease = w.clock
-	}
+	ch.e.wake(t, w, ch.e.cost.LockHandoff)
 }
 
 // Send enqueues v, blocking while the channel is full. Sending on a

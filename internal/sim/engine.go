@@ -24,6 +24,11 @@ type Config struct {
 	// Tracer, when non-nil, receives simulation events (thread
 	// lifecycle, lock traffic, migrations).
 	Tracer Tracer
+	// linearScan selects the pre-heap reference scheduler: a linear
+	// scan over all threads per event and no lease self-renewal. It
+	// exists so tests can verify the heap scheduler is behaviorally
+	// identical; it is unexported because nothing else should use it.
+	linearScan bool
 }
 
 func (c Config) withDefaults() Config {
@@ -52,6 +57,10 @@ type Engine struct {
 
 	live    int // threads not yet done
 	running int // threads ready or running (demanding a processor)
+
+	// ready holds the runnable threads ordered by (clock, slot); the
+	// scheduler pops its root instead of scanning every thread.
+	ready readyHeap
 
 	yieldCh          chan struct{}
 	started          bool
@@ -101,6 +110,7 @@ func (e *Engine) newThread(name string, fn func(*Ctx)) *Thread {
 		state:   stateNew,
 		resume:  make(chan struct{}),
 		lastCPU: -1,
+		heapIdx: -1,
 	}
 	t.lastCPU = t.slot % e.cfg.Processors
 	e.threads = append(e.threads, t)
@@ -130,12 +140,24 @@ func (e *Engine) Run() int64 {
 		if t.state == stateReady {
 			e.live++
 			e.running++
+			if !e.cfg.linearScan {
+				e.ready.push(t)
+			}
 			e.trace(t, EvThreadStart, t.name)
 			go t.run()
 		}
 	}
 	for e.live > 0 {
-		t, lease := e.pickMin()
+		var t *Thread
+		lease := int64(math.MaxInt64)
+		if e.cfg.linearScan {
+			t, lease = e.pickMin()
+		} else {
+			t = e.ready.pop()
+			if n := e.ready.peek(); n != nil {
+				lease = n.clock
+			}
+		}
 		if t == nil {
 			panic(e.deadlockReport())
 		}
@@ -164,7 +186,8 @@ func (e *Engine) Run() int64 {
 
 // pickMin selects the ready thread with the smallest clock (ties broken
 // by slot) and the clock of the runner-up, which bounds the winner's
-// lease.
+// lease. It is the linear-scan reference scheduler, kept only for the
+// equivalence tests that pin the heap scheduler to it.
 func (e *Engine) pickMin() (*Thread, int64) {
 	var best *Thread
 	second := int64(math.MaxInt64)

@@ -119,15 +119,7 @@ func (m *Mutex) Unlock(c *Ctx) {
 	copy(m.waiters, m.waiters[1:])
 	m.waiters = m.waiters[:len(m.waiters)-1]
 	m.owner = w
-	if t.clock > w.clock {
-		w.clock = t.clock
-	}
-	w.clock += m.e.cost.LockHandoff
-	w.state = stateReady
-	t.e.running++
-	if w.clock < t.lease {
-		t.lease = w.clock
-	}
+	m.e.wake(t, w, m.e.cost.LockHandoff)
 	t.maybeYield()
 }
 

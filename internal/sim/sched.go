@@ -1,0 +1,119 @@
+package sim
+
+// readyHeap is an indexed binary min-heap over the ready threads,
+// ordered by (clock, slot). The root is the thread pickMin would choose
+// by scanning: the smallest clock, ties broken toward the lowest slot —
+// so heap scheduling reproduces the scan's decisions exactly, in
+// O(log R) per event instead of O(threads).
+//
+// Entries are stable while queued: a thread's clock only changes while
+// it runs, and a running thread is never in the heap (it is popped
+// before being resumed and re-pushed only when it parks again). Each
+// thread carries its heap index so membership is O(1) to check and
+// double-insertion is caught immediately.
+type readyHeap struct {
+	ts []*Thread
+}
+
+// schedBefore reports whether a must run before b.
+func schedBefore(a, b *Thread) bool {
+	return a.clock < b.clock || (a.clock == b.clock && a.slot < b.slot)
+}
+
+func (h *readyHeap) len() int { return len(h.ts) }
+
+// peek returns the next thread to run without removing it, or nil.
+func (h *readyHeap) peek() *Thread {
+	if len(h.ts) == 0 {
+		return nil
+	}
+	return h.ts[0]
+}
+
+// push inserts t, keyed on its current clock.
+func (h *readyHeap) push(t *Thread) {
+	if t.heapIdx != -1 {
+		panic("sim: thread " + t.name + " enqueued twice")
+	}
+	t.heapIdx = len(h.ts)
+	h.ts = append(h.ts, t)
+	h.up(t.heapIdx)
+}
+
+// pop removes and returns the scheduling minimum, or nil when empty.
+func (h *readyHeap) pop() *Thread {
+	if len(h.ts) == 0 {
+		return nil
+	}
+	t := h.ts[0]
+	last := len(h.ts) - 1
+	h.ts[0] = h.ts[last]
+	h.ts[0].heapIdx = 0
+	h.ts[last] = nil
+	h.ts = h.ts[:last]
+	if last > 0 {
+		h.down(0)
+	}
+	t.heapIdx = -1
+	return t
+}
+
+func (h *readyHeap) up(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !schedBefore(h.ts[i], h.ts[p]) {
+			break
+		}
+		h.swap(i, p)
+		i = p
+	}
+}
+
+func (h *readyHeap) down(i int) {
+	n := len(h.ts)
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && schedBefore(h.ts[l], h.ts[min]) {
+			min = l
+		}
+		if r < n && schedBefore(h.ts[r], h.ts[min]) {
+			min = r
+		}
+		if min == i {
+			return
+		}
+		h.swap(i, min)
+		i = min
+	}
+}
+
+func (h *readyHeap) swap(i, j int) {
+	h.ts[i], h.ts[j] = h.ts[j], h.ts[i]
+	h.ts[i].heapIdx = i
+	h.ts[j].heapIdx = j
+}
+
+// enqueue marks t ready and inserts it into the ready queue. The
+// caller must have finalized t.clock: the heap is keyed on it.
+func (e *Engine) enqueue(t *Thread) {
+	t.state = stateReady
+	if !e.cfg.linearScan {
+		e.ready.push(t)
+	}
+}
+
+// wake makes w runnable no earlier than t's current time plus delay
+// cycles, and shrinks t's lease so the scheduling invariant (the
+// running thread never passes a runnable thread's clock) still holds.
+func (e *Engine) wake(t, w *Thread, delay int64) {
+	if t.clock > w.clock {
+		w.clock = t.clock
+	}
+	w.clock += delay
+	e.running++
+	e.enqueue(w)
+	if w.clock < t.lease {
+		t.lease = w.clock
+	}
+}

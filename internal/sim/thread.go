@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"math"
 	"runtime/debug"
 )
 
@@ -35,6 +36,9 @@ type Thread struct {
 	// lastCPU is the processor the thread most recently ran on, used to
 	// charge migration costs.
 	lastCPU int
+	// heapIdx is the thread's position in the engine's ready heap, or
+	// -1 while it is not queued.
+	heapIdx int
 
 	resume chan struct{}
 
@@ -97,12 +101,33 @@ func (t *Thread) yield() {
 	<-t.resume
 }
 
-// maybeYield yields only when the thread's lease has expired.
+// maybeYield yields only when the thread's lease has expired — and even
+// then only when the scheduler would hand the processor to a different
+// thread. While a simulated thread runs, the engine goroutine is parked
+// in Run waiting on yieldCh, so the thread has exclusive access to the
+// ready heap: if it is still ahead of every queued thread it renews its
+// own lease and keeps running, saving the two host channel hops of a
+// park/repick round-trip. The decision is exactly the one Run would
+// make after the yield, so virtual-time results are unchanged.
 func (t *Thread) maybeYield() {
-	if t.clock >= t.lease {
-		t.state = stateReady
-		t.yield()
+	if t.clock < t.lease {
+		return
 	}
+	e := t.e
+	if !e.cfg.linearScan {
+		if n := e.ready.peek(); n == nil || schedBefore(t, n) {
+			if !e.cfg.Exact {
+				if n == nil {
+					t.lease = math.MaxInt64
+				} else {
+					t.lease = n.clock
+				}
+			}
+			return
+		}
+	}
+	e.enqueue(t)
+	t.yield()
 }
 
 // run is the goroutine body wrapping the thread function. Panics are
@@ -183,16 +208,11 @@ func (c *Ctx) Go(name string, fn func(*Ctx)) *Thread {
 	t := c.t
 	t.advance(t.e.cost.Spawn)
 	nt := t.e.newThread(name, fn)
-	nt.clock = t.clock
-	nt.state = stateReady
 	t.e.live++
-	t.e.running++
+	t.e.wake(t, nt, 0)
 	t.e.trace(t, EvSpawn, name)
 	t.e.trace(nt, EvThreadStart, name)
 	go nt.run()
-	if nt.clock < t.lease {
-		t.lease = nt.clock
-	}
 	t.maybeYield()
 	return nt
 }

@@ -34,14 +34,7 @@ func (wg *WaitGroup) Done(c *Ctx) {
 	}
 	t := c.t
 	for _, w := range wg.waiters {
-		if t.clock > w.clock {
-			w.clock = t.clock
-		}
-		w.state = stateReady
-		t.e.running++
-		if w.clock < t.lease {
-			t.lease = w.clock
-		}
+		t.e.wake(t, w, 0)
 	}
 	wg.waiters = wg.waiters[:0]
 }
