@@ -15,6 +15,9 @@
 //	              for every N — only wall-clock changes)
 //	-json         emit a machine-readable BENCH report (schema
 //	              amplify-bench/1) on stdout instead of text
+//	-no-opt       disable the VM bytecode optimizer (default runs -O);
+//	              simulated results are identical either way — CI
+//	              enforces it — only host wall-clock changes
 //	-cpuprofile f write a pprof CPU profile of the whole run to f
 //	-memprofile f write a pprof heap profile (post-GC) to f
 package main
@@ -46,6 +49,7 @@ func run() error {
 	format := flag.String("format", "text", "text | csv | chart (figures only)")
 	jobs := flag.Int("j", runtime.NumCPU(), "max concurrent simulations")
 	jsonOut := flag.Bool("json", false, "emit machine-readable report on stdout")
+	noOpt := flag.Bool("no-opt", false, "disable the VM bytecode optimizer (identical simulated results, slower host)")
 	cpuprofile := flag.String("cpuprofile", "", "write CPU profile to file")
 	memprofile := flag.String("memprofile", "", "write heap profile to file")
 	flag.Parse()
@@ -70,6 +74,7 @@ func run() error {
 
 	r := bench.NewRunner(*quick)
 	r.Jobs = *jobs
+	r.VMNoOpt = *noOpt
 	var todo []string
 	if *exp == "all" {
 		todo = []string{"table1", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "claims", "memory", "pipeline", "sensitivity", "endtoend"}

@@ -11,6 +11,9 @@
 //	-amplify     run the Amplify pre-processor before executing
 //	-arrays-only with -amplify: only shadow data-type arrays
 //	-mode m      with -amplify: shadow | flag
+//	-no-opt      with the vm engine: disable the bytecode optimizer
+//	             (the default -O behavior changes nothing simulated,
+//	             only host speed)
 //	-stats       print execution statistics to stderr
 //	-vet         lint the program first; refuse to run on errors
 //
@@ -51,6 +54,7 @@ func main() {
 	amplify := flag.Bool("amplify", false, "pre-process with Amplify before running")
 	arraysOnly := flag.Bool("arrays-only", false, "with -amplify: only shadow data arrays")
 	mode := flag.String("mode", "shadow", "with -amplify: shadow | flag")
+	noOpt := flag.Bool("no-opt", false, "with -engine vm: disable the bytecode optimizer")
 	stats := flag.Bool("stats", false, "print execution statistics to stderr")
 	trace := flag.Int("trace", 0, "print the first N simulation events to stderr")
 	vetFirst := flag.Bool("vet", false, "lint the program before running; refuse to run on errors")
@@ -108,7 +112,7 @@ func main() {
 			r.PoolHits, r.PoolMisses, r.ShadowReuses, r.Sim.LockAcquires, r.Sim.LockContended,
 			r.Sim.CacheMisses, r.Sim.CacheHits, r.Footprint}
 	case "vm":
-		vcfg := vm.Config{Processors: *procs, Strategy: *allocName}
+		vcfg := vm.Config{Processors: *procs, Strategy: *allocName, NoOpt: *noOpt}
 		if rec != nil {
 			vcfg.Tracer = rec
 		}

@@ -46,6 +46,11 @@ type Runner struct {
 	// is an isolated virtual machine, and output is assembled from the
 	// memo by key, not by completion order.
 	Jobs int
+	// VMNoOpt disables the VM's bytecode optimizer for the experiments
+	// that execute MiniCC programs (endtoend). Simulated results must
+	// not change — CI diffs the two reports' makespans — only host
+	// wall-clock does.
+	VMNoOpt bool
 
 	quick bool
 	cells cellStore

@@ -3,6 +3,7 @@ package bench
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"amplify/internal/core"
 	"amplify/internal/interp"
@@ -140,7 +141,7 @@ func (r *Runner) runEndToEndCell(cell e2eCell) (e2eResult, error) {
 			}
 			src = out
 		}
-		res, err := vm.RunSource(src, vm.Config{Strategy: cell.row.alloc})
+		res, err := vm.RunSource(src, vm.Config{Strategy: cell.row.alloc, NoOpt: r.VMNoOpt})
 		if err != nil {
 			return nil, err
 		}
@@ -187,6 +188,54 @@ func crossCheckInterp(src string, cell e2eCell, vres vm.Result) error {
 	return nil
 }
 
+// EngineSpeedup measures, on the host, how much the VM's bytecode
+// optimizer speeds up the 1-thread end-to-end program, and verifies
+// along the way that it changes nothing the simulation observes. The
+// ratio is host wall-clock (best of three runs per level), so it goes
+// only into the JSON report's engine_speedup field — never into the
+// deterministic figure text that the parallel-vs-sequential tests and
+// CI diff byte-for-byte.
+func (r *Runner) EngineSpeedup() (float64, error) {
+	v, err := r.cells.do("e2e/enginespeedup", func() (any, error) {
+		src := treeSource(1, r.e2ePerThread()*8, e2eDepth)
+		measure := func(noOpt bool) (vm.Result, float64, error) {
+			var res vm.Result
+			best := 0.0
+			for i := 0; i < 3; i++ {
+				start := time.Now()
+				rr, err := vm.RunSource(src, vm.Config{NoOpt: noOpt})
+				sec := time.Since(start).Seconds()
+				if err != nil {
+					return vm.Result{}, 0, err
+				}
+				if i == 0 || sec < best {
+					best = sec
+				}
+				res = rr
+			}
+			return res, best, nil
+		}
+		opt, optSec, err := measure(false)
+		if err != nil {
+			return nil, err
+		}
+		slow, slowSec, err := measure(true)
+		if err != nil {
+			return nil, err
+		}
+		if opt.Makespan != slow.Makespan || opt.Alloc != slow.Alloc ||
+			opt.Output != slow.Output || opt.ExitCode != slow.ExitCode {
+			return nil, fmt.Errorf("endtoend: optimizer changed simulated results (makespan %d vs %d)",
+				opt.Makespan, slow.Makespan)
+		}
+		return slowSec / optSec, nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	return v.(float64), nil
+}
+
 // EndToEndFigure exercises the complete pipeline of the paper with the
 // real tool: the MiniCC synthetic program is pre-processed by
 // internal/core and executed by the bytecode VM on the simulated SMP,
@@ -230,6 +279,11 @@ func (r *Runner) EndToEndFigure() (*Figure, error) {
 	fig.Notes = append(fig.Notes,
 		fmt.Sprintf("heap allocations at 8 threads: plain %d -> pre-processed %d", plainAllocs, ampAllocs),
 		"the amplified rows run the ACTUAL pre-processor output on the bytecode VM (interpreter cross-checked on quick sizes)")
+	if _, err := r.EngineSpeedup(); err != nil {
+		return nil, err
+	}
+	fig.Notes = append(fig.Notes,
+		"bytecode optimizer verified: -O and -no-opt produce identical simulated results (host speedup in the JSON engine_speedup field)")
 	return fig, nil
 }
 

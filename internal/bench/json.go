@@ -20,6 +20,7 @@ const ReportSchema = "amplify-bench/1"
 type Report struct {
 	Schema      string             `json:"schema"`
 	Quick       bool               `json:"quick"`
+	VMNoOpt     bool               `json:"vm_no_opt"`
 	Jobs        int                `json:"jobs"`
 	HostCPUs    int                `json:"host_cpus"`
 	WallSeconds float64            `json:"wall_seconds"`
@@ -40,6 +41,10 @@ type ExperimentReport struct {
 	X           []int          `json:"x,omitempty"`
 	Series      []SeriesReport `json:"series,omitempty"`
 	Headline    *Headline      `json:"headline,omitempty"`
+	// EngineSpeedup (endtoend only) is the host wall-clock ratio of the
+	// VM with its bytecode optimizer off vs on — host-side, so excluded
+	// from determinism checks, which diff only Makespans.
+	EngineSpeedup float64 `json:"engine_speedup,omitempty"`
 }
 
 // SeriesReport is one plotted line of a figure.
@@ -65,6 +70,7 @@ func (r *Runner) Report(names []string) (*Report, error) {
 	rep := &Report{
 		Schema:   ReportSchema,
 		Quick:    r.quick,
+		VMNoOpt:  r.VMNoOpt,
 		Jobs:     r.Jobs,
 		HostCPUs: runtime.NumCPU(),
 	}
@@ -81,6 +87,11 @@ func (r *Runner) Report(names []string) (*Report, error) {
 				er.Series = append(er.Series, SeriesReport{Name: s.Name, Values: s.Values})
 			}
 			er.Headline = headlineOf(f)
+			if name == "endtoend" {
+				if er.EngineSpeedup, err = r.EngineSpeedup(); err != nil {
+					return nil, err
+				}
+			}
 		} else if _, err := r.Run(name); err != nil {
 			return nil, err
 		}

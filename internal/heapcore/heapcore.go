@@ -50,6 +50,10 @@ type Heap struct {
 
 	top    mem.Ref // wilderness pointer
 	topEnd mem.Ref
+	// topA caches the wilderness pointer's simulated address, which is
+	// a pure function of metaBase and the (fixed) bin count; computing
+	// it per Alloc/Free showed up in interpreter profiles.
+	topA uint64
 
 	sizes map[mem.Ref]int64 // usable size of every block ever carved
 
@@ -80,6 +84,7 @@ func New(sp *mem.Space, cfg Config) *Heap {
 	}
 	h.bins = make([][]mem.Ref, len(h.classes))
 	h.metaBase = sp.Sbrk(nil, mem.PageSize)
+	h.topA = uint64(h.metaBase) + uint64(8*len(h.bins))
 	return h
 }
 
@@ -109,7 +114,7 @@ func (h *Heap) classFor(size int64) (int, int64) {
 func (h *Heap) binAddr(bin int) uint64 { return uint64(h.metaBase) + uint64(8*bin) }
 
 // topAddr is the simulated address of the wilderness pointer.
-func (h *Heap) topAddr() uint64 { return uint64(h.metaBase) + uint64(8*len(h.bins)) }
+func (h *Heap) topAddr() uint64 { return h.topA }
 
 // MetaBase returns the heap's metadata page address. Callers placing a
 // lock word for this heap should use an offset of at least LockOffset.

@@ -164,3 +164,37 @@ func TestCarvedBytesAccounting(t *testing.T) {
 		}
 	})
 }
+
+// BenchmarkHeapAllocFree measures the host-side cost of the steady
+// state alloc/free cycle: a bin pop plus a bin push, no carving after
+// warm-up. ReportAllocs pins the host allocations per operation pair.
+func BenchmarkHeapAllocFree(b *testing.B) {
+	e := sim.New(sim.Config{Processors: 1})
+	h := New(mem.NewSpace(), Config{PathOps: 10})
+	e.Go("w", func(c *sim.Ctx) {
+		r := h.Alloc(c, 20) // warm the bin and the wilderness
+		h.Free(c, r)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			r := h.Alloc(c, 20)
+			h.Free(c, r)
+		}
+	})
+	e.Run()
+}
+
+// BenchmarkHeapCarve measures the carve path: every allocation cuts a
+// fresh block from the wilderness (nothing is freed).
+func BenchmarkHeapCarve(b *testing.B) {
+	e := sim.New(sim.Config{Processors: 1})
+	h := New(mem.NewSpace(), Config{PathOps: 10})
+	e.Go("w", func(c *sim.Ctx) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			h.Alloc(c, 20)
+		}
+	})
+	e.Run()
+}

@@ -8,13 +8,22 @@ package sim
 // pays a read-for-ownership. Capacity is unbounded — the experiments in
 // the paper are dominated by coherence traffic (false sharing, line
 // ping-pong between pools and threads), not by capacity misses.
+//
+// Line state lives in flat open-addressed tables (lineMap), not Go
+// maps: an access costs a multiplicative hash and one or two linear
+// probes over scalar slices the garbage collector never scans. With the
+// interpreter fast paths elsewhere, the per-access map hashing here was
+// the largest remaining term in end-to-end VM runs; dense paged arrays
+// are no alternative because workloads touch a few lines per region of
+// a brk space that realloc can grow very large.
 type Cache struct {
 	lineShift uint
 	cost      *CostModel
 	// global holds, per line, the current version and last writer.
-	global map[uint64]lineState
-	// seen[cpu] maps line -> version last observed by that processor.
-	seen []map[uint64]uint32
+	global lineMap
+	// seen[cpu] holds, per line, the version last observed by that
+	// processor.
+	seen []lineMap
 
 	Hits   int64
 	Misses int64
@@ -33,15 +42,10 @@ func newCache(p int, lineSize int64, cost *CostModel) *Cache {
 	for int64(1)<<shift < lineSize {
 		shift++
 	}
-	seen := make([]map[uint64]uint32, p)
-	for i := range seen {
-		seen[i] = make(map[uint64]uint32)
-	}
 	return &Cache{
 		lineShift: shift,
 		cost:      cost,
-		global:    make(map[uint64]lineState),
-		seen:      seen,
+		seen:      make([]lineMap, p),
 	}
 }
 
@@ -62,10 +66,22 @@ func (c *Cache) access(t *Thread, cpu int, addr uint64, size int64, write bool) 
 }
 
 func (c *Cache) accessLine(t *Thread, cpu int, line uint64, write bool) {
-	st := c.global[line]
-	have, cached := c.seen[cpu][line]
+	// Reserve capacity up front so the slot indexes find returns stay
+	// valid across the inserts below.
+	s := &c.seen[cpu]
+	s.ensure()
+	si, sok := s.find(line)
+	g := &c.global
+	if write {
+		g.ensure()
+	}
+	gi, gok := g.find(line)
+	var st lineState
+	if gok {
+		st = lineState{version: uint32(g.vals[gi]), writer: int32(g.vals[gi] >> 32)}
+	}
 	var cycles int64
-	if cached && have == st.version {
+	if sok && uint32(s.vals[si]) == st.version {
 		cycles = c.cost.CacheHit
 		c.Hits++
 		t.CacheHits++
@@ -81,9 +97,9 @@ func (c *Cache) accessLine(t *Thread, cpu int, line uint64, write bool) {
 		}
 		st.version++
 		st.writer = int32(cpu)
-		c.global[line] = st
+		g.set(gi, gok, line, uint64(st.version)|uint64(uint32(st.writer))<<32)
 	}
-	c.seen[cpu][line] = st.version
+	s.set(si, sok, line, uint64(st.version))
 	t.advance(cycles)
 }
 
@@ -91,5 +107,91 @@ func (c *Cache) accessLine(t *Thread, cpu int, line uint64, write bool) {
 // affinity a thread loses when it migrates to a different processor.
 // (The thread pays for the refill through subsequent misses.)
 func (c *Cache) flushCPU(cpu int) {
-	clear(c.seen[cpu])
+	c.seen[cpu].reset()
+}
+
+// lineMap is an open-addressed hash table from cache-line number to a
+// 64-bit payload, with linear probing and no deletion. Keys are stored
+// as line+1 so the zero slot means empty; both arrays are scalar, so
+// the table is invisible to the garbage collector.
+type lineMap struct {
+	keys []uint64
+	vals []uint64
+	n    int
+}
+
+const lineMapMinSize = 1024 // slots; 16 KiB per table
+
+// hashLine spreads line numbers, which are near-sequential, across the
+// table (Fibonacci multiplicative hashing).
+func hashLine(line uint64, mask uint64) uint64 {
+	return (line * 0x9E3779B97F4A7C15) >> 32 & mask
+}
+
+// ensure reserves room for one insertion, growing at 3/4 load so the
+// slot index a subsequent find returns remains insertable.
+func (m *lineMap) ensure() {
+	if cap := len(m.keys); cap == 0 {
+		m.keys = make([]uint64, lineMapMinSize)
+		m.vals = make([]uint64, lineMapMinSize)
+	} else if (m.n+1)*4 > cap*3 {
+		m.grow(cap * 2)
+	}
+}
+
+func (m *lineMap) grow(size int) {
+	oldKeys, oldVals := m.keys, m.vals
+	m.keys = make([]uint64, size)
+	m.vals = make([]uint64, size)
+	mask := uint64(size - 1)
+	for i, k := range oldKeys {
+		if k == 0 {
+			continue
+		}
+		j := hashLine(k-1, mask)
+		for m.keys[j] != 0 {
+			j = (j + 1) & mask
+		}
+		m.keys[j] = k
+		m.vals[j] = oldVals[i]
+	}
+}
+
+// find returns the slot holding line, or the empty slot where it would
+// be inserted, and whether it was found. The table must be non-empty or
+// ensured first.
+func (m *lineMap) find(line uint64) (int, bool) {
+	if len(m.keys) == 0 {
+		return -1, false
+	}
+	mask := uint64(len(m.keys) - 1)
+	k := line + 1
+	i := hashLine(line, mask)
+	for {
+		kk := m.keys[i]
+		if kk == k {
+			return int(i), true
+		}
+		if kk == 0 {
+			return int(i), false
+		}
+		i = (i + 1) & mask
+	}
+}
+
+// set stores v at the slot find returned; found says whether the slot
+// already held the key.
+func (m *lineMap) set(i int, found bool, line, v uint64) {
+	if !found {
+		m.keys[i] = line + 1
+		m.n++
+	}
+	m.vals[i] = v
+}
+
+// reset empties the table, keeping its storage.
+func (m *lineMap) reset() {
+	clear(m.keys)
+	clear(m.vals)
+	m.n = 0
 }

@@ -1,0 +1,211 @@
+package vm
+
+import (
+	"testing"
+
+	"amplify/internal/cc"
+)
+
+// benchProgram parses, analyzes and compiles a source once; benchmarks
+// then re-run the compiled program so they measure execution, not the
+// front end.
+func benchProgram(b *testing.B, src string) *Program {
+	b.Helper()
+	prog, err := cc.Parse(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := cc.Analyze(prog); err != nil {
+		b.Fatal(err)
+	}
+	p, err := Compile(prog)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p
+}
+
+// treeBenchSrc is the paper's tree-churn shape (test case 2): recursive
+// constructors and destructors, field loads on every node, a method
+// call per node. It concentrates OpNew/OpDelete/OpLoadField/OpMethod —
+// the opcodes the fast-path engine targets.
+const treeBenchSrc = `
+class Node {
+public:
+    Node(int depth, int seed) {
+        d1 = seed;
+        d2 = seed * 2;
+        d3 = seed + 7;
+        if (depth > 0) {
+            left = new Node(depth - 1, seed + 1);
+            right = new Node(depth - 1, seed + 2);
+        }
+    }
+    ~Node() {
+        delete left;
+        delete right;
+    }
+    int sum() {
+        int s = d1 + d2 + d3;
+        if (left) {
+            s = s + left->sum();
+        }
+        if (right) {
+            s = s + right->sum();
+        }
+        return s;
+    }
+private:
+    Node* left;
+    Node* right;
+    int d1;
+    int d2;
+    int d3;
+};
+
+int main() {
+    int total = 0;
+    for (int t = 0; t < 40; t = t + 1) {
+        Node* root = new Node(4, t);
+        total = total + root->sum();
+        delete root;
+    }
+    return total % 256;
+}
+`
+
+// BenchmarkExecTreeBuild measures whole-program execution of the tree
+// churn: each iteration runs the compiled program on a fresh simulated
+// machine (the compile is amortized outside the loop).
+func BenchmarkExecTreeBuild(b *testing.B) {
+	p := benchProgram(b, treeBenchSrc)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(p, Config{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+const monoDispatchSrc = `
+class Counter {
+public:
+    Counter() {
+        n = 0;
+    }
+    ~Counter() {
+    }
+    int bump() {
+        n = n + 1;
+        return n;
+    }
+private:
+    int n;
+};
+
+int main() {
+    Counter* c = new Counter();
+    int s = 0;
+    for (int i = 0; i < 20000; i = i + 1) {
+        s = s + c->bump();
+    }
+    delete c;
+    return s % 256;
+}
+`
+
+// polyDispatchSrc funnels two receiver classes through one call site
+// (the void* conversion defeats any static receiver typing), so the
+// site's class alternates every iteration — the worst case for a
+// monomorphic inline cache, exercising the vtable fallback.
+const polyDispatchSrc = `
+class Even {
+public:
+    Even() {
+    }
+    ~Even() {
+    }
+    int tag() {
+        return 2;
+    }
+};
+
+class Odd {
+public:
+    Odd() {
+    }
+    ~Odd() {
+    }
+    int tag() {
+        return 3;
+    }
+};
+
+void* pick(int i, void* a, void* b) {
+    if (i % 2 == 0) {
+        return a;
+    }
+    return b;
+}
+
+int main() {
+    Even* e = new Even();
+    Odd* o = new Odd();
+    int s = 0;
+    for (int i = 0; i < 20000; i = i + 1) {
+        Even* p = pick(i, e, o);
+        s = s + p->tag();
+    }
+    delete e;
+    delete o;
+    return s % 256;
+}
+`
+
+// BenchmarkMethodDispatchMono measures a monomorphic call site: the
+// inline cache should hit on every iteration after the first.
+func BenchmarkMethodDispatchMono(b *testing.B) {
+	p := benchProgram(b, monoDispatchSrc)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(p, Config{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMethodDispatchPoly measures a strictly-alternating
+// polymorphic call site: the inline cache misses every time and
+// dispatch falls back to the per-class vtable.
+func BenchmarkMethodDispatchPoly(b *testing.B) {
+	p := benchProgram(b, polyDispatchSrc)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(p, Config{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPeepholeCompile measures the full bytecode pipeline —
+// lowering plus (when enabled) the peephole/superinstruction pass —
+// over the tree program.
+func BenchmarkPeepholeCompile(b *testing.B) {
+	prog, err := cc.Parse(treeBenchSrc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := cc.Analyze(prog); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Compile(prog); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"amplify/internal/cc"
+	"amplify/internal/mem"
 )
 
 // Fn is a compiled function or method body.
@@ -24,14 +25,43 @@ type Program struct {
 	Fns    []*Fn
 	Consts []int64
 	Strs   []string // string-literal table
-	Names  []string // method-name table for dynamic dispatch
+	Names  []string // method/field-name table for dynamic dispatch
 	// FuncID maps free-function names to Fn indices.
 	FuncID map[string]int
+	// Optimized records whether the peephole pass ran.
+	Optimized bool
+	// classes are the per-class dispatch records, indexed by the class
+	// ids that OpNew/OpDtor/OpPoolAlloc/OpPoolFree carry in A.
+	classes []*classInfo
+	// methodSites counts OpMethod sites; each site's C operand indexes
+	// the executing machine's inline-cache array.
+	methodSites int
 	// methodID maps class/kind/name to Fn indices.
 	methodID map[methodKey]int
+	classID  map[string]int
 	nameID   map[string]int
 	constID  map[int64]int
 	strID    map[string]int
+}
+
+// classInfo is the per-class compile-time dispatch record: everything
+// the run-time hot paths need, resolved to dense indices once per
+// Program. Classes are immutable after Compile, so none of these
+// tables ever needs invalidation.
+type classInfo struct {
+	id   int32
+	decl *cc.ClassDecl
+	// vtable and field table, indexed by global name id (p.Names).
+	// vtable[n] is the Fn index of the plain method named Names[n], or
+	// -1; fieldOf[n] is the field index of Names[n], or -1.
+	vtable  []int32
+	fieldOf []int32
+	// Lifecycle member functions as Fn indices, -1 when absent.
+	ctor, dtor, opNew, opDelete int32
+	// offsets[i] is Fields[i].Offset, lifted out of the AST.
+	offsets []int64
+	// proto is the zero value of the field array (null for pointers).
+	proto []value
 }
 
 type methodKey struct {
@@ -50,12 +80,28 @@ func (p *Program) Disassemble(fn *Fn) string {
 	return b.String()
 }
 
-// Compile lowers an analyzed program to bytecode.
+// Options configure compilation.
+type Options struct {
+	// NoOpt disables the peephole/superinstruction pass. The pass never
+	// changes behavior or virtual time (fused instructions carry the
+	// work charge of what they replace) — this is an escape hatch for
+	// debugging and for the optimized-vs-baseline identity checks.
+	NoOpt bool
+}
+
+// Compile lowers an analyzed program to optimized bytecode.
 func Compile(src *cc.Program) (*Program, error) {
+	return CompileOpts(src, Options{})
+}
+
+// CompileOpts lowers an analyzed program to bytecode with explicit
+// optimization options.
+func CompileOpts(src *cc.Program, opt Options) (*Program, error) {
 	p := &Program{
 		Src:      src,
 		FuncID:   map[string]int{},
 		methodID: map[methodKey]int{},
+		classID:  map[string]int{},
 		nameID:   map[string]int{},
 		constID:  map[int64]int{},
 		strID:    map[string]int{},
@@ -66,6 +112,8 @@ func Compile(src *cc.Program) (*Program, error) {
 		case *cc.FuncDecl:
 			p.FuncID[d.Name] = p.reserve("func " + d.Name)
 		case *cc.ClassDecl:
+			p.classID[d.Name] = len(p.classes)
+			p.classes = append(p.classes, &classInfo{id: int32(len(p.classes)), decl: d})
 			for _, m := range d.Methods {
 				key := methodKey{d.Name, m.Kind, m.Name}
 				p.methodID[key] = p.reserve(fmt.Sprintf("%s::%s/%d", d.Name, m.Name, m.Kind))
@@ -90,7 +138,51 @@ func Compile(src *cc.Program) (*Program, error) {
 			}
 		}
 	}
+	if !opt.NoOpt {
+		optimize(p)
+		p.Optimized = true
+	}
+	// The name table is final only after every body (and the peephole
+	// pass, which interns no names) has been compiled; build the
+	// per-class dispatch tables over it.
+	p.buildClassTables()
 	return p, nil
+}
+
+// buildClassTables fills every classInfo's vtable, field table,
+// lifecycle ids, offsets and field prototype. Called once per Compile;
+// classes are immutable afterwards, so inline caches built on these
+// tables never need invalidation.
+func (p *Program) buildClassTables() {
+	fnID := func(cd *cc.ClassDecl, kind cc.MethodKind, name string) int32 {
+		if id, ok := p.methodID[methodKey{cd.Name, kind, name}]; ok {
+			return int32(id)
+		}
+		return -1
+	}
+	for _, ci := range p.classes {
+		cd := ci.decl
+		ci.ctor = fnID(cd, cc.Ctor, "")
+		ci.dtor = fnID(cd, cc.Dtor, "")
+		ci.opNew = fnID(cd, cc.OpNew, "")
+		ci.opDelete = fnID(cd, cc.OpDelete, "")
+		ci.vtable = make([]int32, len(p.Names))
+		ci.fieldOf = make([]int32, len(p.Names))
+		for n, name := range p.Names {
+			ci.vtable[n] = fnID(cd, cc.PlainMethod, name)
+			ci.fieldOf[n] = fieldIndex(cd, name)
+		}
+		ci.offsets = make([]int64, len(cd.Fields))
+		ci.proto = make([]value, len(cd.Fields))
+		for i, f := range cd.Fields {
+			ci.offsets[i] = f.Offset
+			if f.Type.IsPointer() {
+				ci.proto[i] = rv(mem.Nil)
+			} else {
+				ci.proto[i] = iv(0)
+			}
+		}
+	}
 }
 
 func methodName(d *cc.ClassDecl, m *cc.Method) string {
@@ -171,8 +263,18 @@ func (p *Program) compileBody(name string, class *cc.ClassDecl, kind cc.MethodKi
 }
 
 func (c *compiler) emit(op Op, a, b int32) int {
-	c.code = append(c.code, Instr{Op: op, A: a, B: b})
+	c.code = append(c.code, Instr{Op: op, W: 1, A: a, B: b})
 	return len(c.code) - 1
+}
+
+// classIdx resolves a class name to its id. The front end (sema) rejects
+// unknown class names, so this only fails on unanalyzed input.
+func (c *compiler) classIdx(name string) (int32, error) {
+	id, ok := c.p.classID[name]
+	if !ok {
+		return 0, fmt.Errorf("vm: unknown class %s", name)
+	}
+	return int32(id), nil
 }
 
 func (c *compiler) patch(at int, target int) {
@@ -393,13 +495,20 @@ func (c *compiler) expr(e cc.Expr) error {
 				return err
 			}
 		}
-		c.emit(OpMethod, c.p.name(e.Name), int32(len(e.Args)))
+		// Each OpMethod site gets an inline-cache slot in C.
+		at := c.emit(OpMethod, c.p.name(e.Name), int32(len(e.Args)))
+		c.code[at].C = int32(c.p.methodSites)
+		c.p.methodSites++
 		return nil
 	case *cc.DtorCall:
 		if err := c.expr(e.Recv); err != nil {
 			return err
 		}
-		c.emit(OpDtor, c.p.name(e.Class), 0)
+		id, err := c.classIdx(e.Class)
+		if err != nil {
+			return err
+		}
+		c.emit(OpDtor, id, 0)
 		// Void expression: leave a value for the enclosing statement's
 		// pop, like the void intrinsics do.
 		c.emit(OpNull, 0, 0)
@@ -434,7 +543,11 @@ func (c *compiler) expr(e cc.Expr) error {
 		if e.Placement != nil {
 			op = OpPlacementNew
 		}
-		c.emit(op, c.p.name(e.Class), int32(len(e.Args)))
+		id, err := c.classIdx(e.Class)
+		if err != nil {
+			return err
+		}
+		c.emit(op, id, int32(len(e.Args)))
 		return nil
 	case *cc.NewArray:
 		if err := c.expr(e.Len); err != nil {
@@ -576,15 +689,21 @@ func (c *compiler) intrinsic(e *cc.Call) error {
 		c.emit(OpNull, 0, 0)
 		return nil
 	case "__pool_alloc":
-		cls := e.Args[0].(*cc.Ident).Name
-		c.emit(OpPoolAlloc, c.p.name(cls), 0)
+		id, err := c.classIdx(e.Args[0].(*cc.Ident).Name)
+		if err != nil {
+			return err
+		}
+		c.emit(OpPoolAlloc, id, 0)
 		return nil
 	case "__pool_free":
-		cls := e.Args[0].(*cc.Ident).Name
+		id, err := c.classIdx(e.Args[0].(*cc.Ident).Name)
+		if err != nil {
+			return err
+		}
 		if err := c.expr(e.Args[1]); err != nil {
 			return err
 		}
-		c.emit(OpPoolFree, c.p.name(cls), 0)
+		c.emit(OpPoolFree, id, 0)
 		c.emit(OpNull, 0, 0)
 		return nil
 	case "realloc":

@@ -1,0 +1,157 @@
+package vm
+
+import "amplify/internal/mem"
+
+// The handle table maps simulated addresses (mem.Ref) to the VM's
+// object and buffer records without any map hashing on the hot path.
+//
+// Layout: the simulated address space is a single brk region starting
+// at 64 KiB, and every allocator in this repository mints block
+// addresses at multiples of 8 (heapcore carves 16-aligned strides
+// behind an 8-byte header; hoard and smartheap hand out 16-byte size
+// classes from page-aligned superblocks). The table therefore pages
+// the address space into 4 KiB frames of 512 eight-byte granules and
+// keeps one record slot per granule, inline in the page, so a record's
+// storage address is a pure function of its ref: record pointers
+// cached by the interpreter loop (the per-opcode last-ref caches in
+// machine) stay valid even when the allocator recycles the address for
+// a new object — the new put lands in the same slot.
+//
+// Refs that are not 8-aligned (no current allocator mints them) fall
+// back to a side map so the table stays correct under any future
+// allocator; the aligned fast path never touches it.
+
+const (
+	granuleShift = 3
+	granuleMask  = 1<<granuleShift - 1
+	pageShift    = 12
+	pageBytes    = 1 << pageShift
+	slotsPerPage = pageBytes >> granuleShift
+	// spaceBase mirrors mem.NewSpace's first page; pages are indexed
+	// relative to it so the directory has no dead prefix.
+	spaceBase = 1 << 16
+)
+
+// hslot kinds. A slot starts hFree; minting an object or buffer at its
+// address claims it, and the claim is overwritten in place if the
+// allocator later recycles the address for the other kind.
+const (
+	hFree uint8 = iota
+	hObj
+	hBuf
+)
+
+// hslot is one object-or-buffer record. Object and buffer payloads
+// share the slot (a simulated address holds at most one at a time);
+// kind says which view is current.
+type hslot struct {
+	kind  uint8
+	state objState
+
+	// Object payload.
+	class  *classInfo
+	fields []value
+
+	// Buffer payload.
+	elemSize int32
+	length   int64
+	usable   int64
+	data     []int64
+}
+
+type hpage struct {
+	slots [slotsPerPage]hslot
+}
+
+// handleTable is the paged ref→record index. The zero value is ready
+// to use.
+type handleTable struct {
+	pages    []*hpage // indexed by (ref>>pageShift)-basePage, nil until touched
+	overflow map[mem.Ref]*hslot
+}
+
+const basePage = spaceBase >> pageShift
+
+// lookup returns the slot for ref, or nil if no page covers it. A
+// non-nil result can still be hFree (address inside a mapped page that
+// never held a record).
+func (t *handleTable) lookup(ref mem.Ref) *hslot {
+	a := uint64(ref)
+	if a&granuleMask != 0 {
+		return t.overflow[ref]
+	}
+	pg := a>>pageShift - basePage
+	if pg >= uint64(len(t.pages)) {
+		return nil
+	}
+	p := t.pages[pg]
+	if p == nil {
+		return nil
+	}
+	return &p.slots[(a&(pageBytes-1))>>granuleShift]
+}
+
+// ensure returns the slot for ref, materializing its page on first
+// touch.
+func (t *handleTable) ensure(ref mem.Ref) *hslot {
+	a := uint64(ref)
+	if a&granuleMask != 0 {
+		if t.overflow == nil {
+			t.overflow = make(map[mem.Ref]*hslot)
+		}
+		s := t.overflow[ref]
+		if s == nil {
+			s = &hslot{}
+			t.overflow[ref] = s
+		}
+		return s
+	}
+	pg := a>>pageShift - basePage
+	for uint64(len(t.pages)) <= pg {
+		t.pages = append(t.pages, nil)
+	}
+	p := t.pages[pg]
+	if p == nil {
+		p = &hpage{}
+		t.pages[pg] = p
+	}
+	return &p.slots[(a&(pageBytes-1))>>granuleShift]
+}
+
+// setObject claims the slot for a fresh object of class ci with
+// zero-valued fields, reusing the slot's field storage when the
+// allocator recycled the address.
+func (s *hslot) setObject(ci *classInfo) {
+	s.kind = hObj
+	s.state = stLive
+	s.class = ci
+	s.fields = append(s.fields[:0], ci.proto...)
+	s.data = nil
+}
+
+// setBuffer claims the slot for a fresh zeroed buffer, reusing the
+// slot's data storage when capacity allows.
+func (s *hslot) setBuffer(elemSize int32, length, usable int64) {
+	s.kind = hBuf
+	s.state = stLive
+	s.class = nil
+	s.fields = nil
+	s.elemSize = elemSize
+	s.length = length
+	s.usable = usable
+	if int64(cap(s.data)) >= length {
+		s.data = s.data[:length]
+		clear(s.data)
+	} else {
+		s.data = make([]int64, length)
+	}
+}
+
+// refCache is a one-entry last-ref memo: each hot opcode owns one, so
+// repeated accesses to the same object skip even the paged index. The
+// ref→slot mapping is permanent (see handleTable), so entries never
+// need invalidation; kind and state are re-checked on every hit.
+type refCache struct {
+	ref  mem.Ref
+	slot *hslot
+}

@@ -100,6 +100,22 @@ const (
 	// per the shadow-retention rule.
 	OpRealloc
 	OpShadowSave
+
+	// Superinstructions, emitted only by the peephole pass. Each one
+	// carries the work units (W) of the instructions it replaces, so
+	// fused code charges the simulated machine identically.
+
+	// OpLoadLocalField pushes field names[B] of the object in locals[A]
+	// (fused OpLoadLocal+OpLoadField by-name pair).
+	OpLoadLocalField
+	// OpAddConst adds constants[A] to the top of stack in place (fused
+	// OpConst+OpAdd).
+	OpAddConst
+	// OpCallL1 invokes function A passing locals[B] as the only
+	// argument; OpCallL2 passes locals[B&0xffff] and locals[B>>16]
+	// (fused OpLoadLocal windows feeding an OpCall).
+	OpCallL1
+	OpCallL2
 )
 
 var opNames = [...]string{
@@ -119,6 +135,8 @@ var opNames = [...]string{
 	OpSpawn: "spawn", OpJoin: "join", OpWork: "work",
 	OpPoolAlloc: "palloc", OpPoolFree: "pfree",
 	OpRealloc: "realloc", OpShadowSave: "shsave",
+	OpLoadLocalField: "loadlf", OpAddConst: "addc",
+	OpCallL1: "calll1", OpCallL2: "calll2",
 }
 
 // String names the opcode.
@@ -129,21 +147,33 @@ func (o Op) String() string {
 	return fmt.Sprintf("Op(%d)", int(o))
 }
 
-// Instr is one instruction.
+// Instr is one instruction. A and B are immediate operands; C is a
+// per-site slot (the inline-cache index of an OpMethod site); W is the
+// instruction's work charge in simulated cycles — 1 for every
+// instruction the compiler emits, the sum of the fused instructions'
+// charges for peephole output, so that optimization never changes
+// virtual time.
 type Instr struct {
 	Op   Op
+	W    uint16
 	A, B int32
+	C    int32
 }
 
 // String formats the instruction for disassembly.
 func (i Instr) String() string {
+	s := i.Op.String()
 	switch i.Op {
 	case OpConst, OpLoadLocal, OpStoreLocal, OpLoadField, OpStoreField,
 		OpJmp, OpJmpFalse, OpJmpTrue, OpNewArray, OpDtor, OpPrint,
-		OpPoolAlloc, OpPoolFree:
-		return fmt.Sprintf("%-8s %d", i.Op, i.A)
-	case OpCall, OpMethod, OpNew, OpPlacementNew, OpSpawn:
-		return fmt.Sprintf("%-8s %d, %d", i.Op, i.A, i.B)
+		OpPoolAlloc, OpPoolFree, OpAddConst:
+		s = fmt.Sprintf("%-8s %d", i.Op, i.A)
+	case OpCall, OpMethod, OpNew, OpPlacementNew, OpSpawn,
+		OpLoadLocalField, OpCallL1, OpCallL2:
+		s = fmt.Sprintf("%-8s %d, %d", i.Op, i.A, i.B)
 	}
-	return i.Op.String()
+	if i.W > 1 {
+		s = fmt.Sprintf("%s  ;w=%d", s, i.W)
+	}
+	return s
 }

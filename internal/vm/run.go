@@ -24,6 +24,10 @@ type Config struct {
 	Pool       pool.Config
 	MaxSteps   int64
 	Tracer     sim.Tracer
+	// NoOpt makes RunSource compile without the peephole pass (see
+	// Options.NoOpt). Programs compiled with Compile/CompileOpts carry
+	// their own setting and ignore this field.
+	NoOpt bool
 }
 
 func (c Config) withDefaults() Config {
@@ -61,7 +65,7 @@ func RunSource(src string, cfg Config) (Result, error) {
 	if err := cc.Analyze(prog); err != nil {
 		return Result{}, err
 	}
-	compiled, err := Compile(prog)
+	compiled, err := CompileOpts(prog, Options{NoOpt: cfg.NoOpt})
 	if err != nil {
 		return Result{}, err
 	}
@@ -90,13 +94,22 @@ func Run(p *Program, cfg Config) (res Result, err error) {
 		cfg:      cfg,
 		alloc:    under,
 		rt:       pool.NewRuntime(e, under, pcfg),
-		pools:    map[string]*pool.ClassPool{},
-		objects:  map[mem.Ref]*object{},
-		buffers:  map[mem.Ref]*buffer{},
+		pools:    make([]*pool.ClassPool, len(p.classes)),
+		ics:      make([]methodIC, p.methodSites),
 		joinable: e.NewWaitGroup(),
+		// Single-threaded programs run one sim thread: no dilation, no
+		// migration, an infinite scheduling lease. There, N unit work
+		// charges and one N-cycle charge are exactly equivalent, so the
+		// interpreter batches charges between observable events (loads,
+		// stores, allocator calls). Threaded programs charge per unit —
+		// under oversubscription Ctx.Work dilates each charge with an
+		// integer division, so batching would perturb makespans. A
+		// tracer also forces per-unit charging to keep event timestamps.
+		bulk: !p.Src.UsesThreads && cfg.Tracer == nil,
 	}
 	e.Go("main", func(c *sim.Ctx) {
 		ret := m.exec(c, p.Fns[mainID], mem.Nil, nil)
+		m.flushWork(c)
 		m.exitCode = ret.i
 	})
 	defer func() {
@@ -122,12 +135,34 @@ func Run(p *Program, cfg Config) (res Result, err error) {
 	return res, nil
 }
 
-type vmError struct{ msg string }
+// vmError is a runtime fault, carrying the faulting site so the message
+// reads "... (at fn@pc: op)".
+type vmError struct {
+	msg string
+	fn  string
+	pc  int
+	op  string
+}
 
-func (e *vmError) Error() string { return "vm: " + e.msg }
+func (e *vmError) Error() string {
+	if e.fn == "" {
+		return "vm: " + e.msg
+	}
+	return fmt.Sprintf("vm: %s (at %s@%d: %s)", e.msg, e.fn, e.pc, e.op)
+}
 
-func fail(format string, args ...any) *vmError {
-	panic(&vmError{msg: fmt.Sprintf(format, args...)})
+// fail raises a runtime fault annotated with the machine's current
+// function, pc and opcode.
+func (m *machine) fail(format string, args ...any) {
+	e := &vmError{msg: fmt.Sprintf(format, args...)}
+	if m.curFn != nil {
+		e.fn = m.curFn.Name
+		e.pc = m.curPC
+		if m.curPC >= 0 && m.curPC < len(m.curFn.Code) {
+			e.op = m.curFn.Code[m.curPC].Op.String()
+		}
+	}
+	panic(e)
 }
 
 // value is the VM's runtime value.
@@ -166,326 +201,462 @@ const (
 	stFreed
 )
 
-type object struct {
-	class  *cc.ClassDecl
-	fields []value
-	state  objState
-}
-
-type buffer struct {
-	elemSize int32
-	length   int64
-	usable   int64
-	data     []int64
-	state    objState
+// methodIC is a per-call-site monomorphic inline cache: the last
+// receiver class seen at an OpMethod site and the resolved body. Caches
+// live on the machine (one array entry per site, indexed by the
+// instruction's C operand), so a Program stays immutable and shareable
+// across runs. They never need invalidation: classes and vtables are
+// fixed at compile time.
+type methodIC struct {
+	class *classInfo
+	fn    *Fn
 }
 
 type machine struct {
-	p        *Program
-	cfg      Config
-	alloc    alloc.Allocator
-	rt       *pool.Runtime
-	pools    map[string]*pool.ClassPool
-	objects  map[mem.Ref]*object
-	buffers  map[mem.Ref]*buffer
-	joinable *sim.WaitGroup
-	spawned  int
-	steps    int64
+	p     *Program
+	cfg   Config
+	alloc alloc.Allocator
+	rt    *pool.Runtime
+	// pools is indexed by class id (dense, from the Program).
+	pools []*pool.ClassPool
+	// h maps refs to object/buffer records with no map hashing.
+	h handleTable
+	// ics holds one inline cache per OpMethod site.
+	ics []methodIC
+	// Per-opcode last-ref memos (see refCache).
+	cLoadField, cStoreField, cIndexLoad, cIndexStore, cMethod, cMisc refCache
+	// frames and stacks are free lists of local-slot arrays and operand
+	// stacks, recycled across activations. The simulator runs one thread
+	// at a time (baton protocol), so sharing them machine-wide is safe.
+	frames [][]value
+	stacks [][]value
+	// argScratch passes one- or two-value argument lists without
+	// allocating; exec copies arguments into the callee frame before
+	// anything else runs, so the scratch is immediately reusable.
+	argScratch [2]value
+	joinable   *sim.WaitGroup
+	spawned    int
+	steps      int64
+	// bulk batches work charges (see Run); pending holds charges not
+	// yet flushed to the simulator.
+	bulk     bool
+	pending  int64
 	out      strings.Builder
 	exitCode int64
+	// curFn/curPC track the executing site for fault messages.
+	curFn *Fn
+	curPC int
 }
 
-func (m *machine) class(name string) *cc.ClassDecl {
-	cd := m.p.Src.Classes[name]
-	if cd == nil {
-		fail("unknown class %s", name)
-	}
-	return cd
-}
-
-func (m *machine) poolFor(cd *cc.ClassDecl) *pool.ClassPool {
-	pl, ok := m.pools[cd.Name]
-	if !ok {
-		pl = m.rt.NewClassPool(cd.Name, cd.Size)
-		m.pools[cd.Name] = pl
+func (m *machine) poolFor(ci *classInfo) *pool.ClassPool {
+	pl := m.pools[ci.id]
+	if pl == nil {
+		pl = m.rt.NewClassPool(ci.decl.Name, ci.decl.Size)
+		m.pools[ci.id] = pl
 	}
 	return pl
 }
 
-func (m *machine) object(ref mem.Ref) *object {
+// objSlot resolves an object reference through the per-opcode cache,
+// then the handle table. Destroyed-but-not-freed objects pass (field
+// access on a destroyed object mirrors still-owned memory); freed ones
+// fault.
+func (m *machine) objSlot(ref mem.Ref, cache *refCache) *hslot {
 	if ref == mem.Nil {
-		fail("null pointer dereference")
+		m.fail("null pointer dereference")
 	}
-	o, ok := m.objects[ref]
-	if !ok {
-		fail("reference 0x%x is not an object", uint64(ref))
-	}
-	if o.state == stFreed {
-		fail("use after free of %s object", o.class.Name)
-	}
-	return o
-}
-
-func (m *machine) live(ref mem.Ref) *object {
-	o := m.object(ref)
-	if o.state != stLive {
-		fail("use of destroyed %s object", o.class.Name)
-	}
-	return o
-}
-
-func (m *machine) buffer(ref mem.Ref) *buffer {
-	if ref == mem.Nil {
-		fail("null buffer dereference")
-	}
-	b, ok := m.buffers[ref]
-	if !ok {
-		fail("reference 0x%x is not a buffer", uint64(ref))
-	}
-	if b.state == stFreed {
-		fail("use after free of buffer")
-	}
-	return b
-}
-
-func zeroRecord(cd *cc.ClassDecl) *object {
-	o := &object{class: cd, state: stLive, fields: make([]value, len(cd.Fields))}
-	for i, f := range cd.Fields {
-		if f.Type.IsPointer() {
-			o.fields[i] = rv(mem.Nil)
-		} else {
-			o.fields[i] = iv(0)
+	s := cache.slot
+	if s == nil || cache.ref != ref {
+		s = m.h.lookup(ref)
+		if s == nil {
+			m.fail("reference 0x%x is not an object", uint64(ref))
 		}
+		cache.ref, cache.slot = ref, s
 	}
-	return o
+	if s.kind != hObj {
+		m.fail("reference 0x%x is not an object", uint64(ref))
+	}
+	if s.state == stFreed {
+		m.fail("use after free of %s object", s.class.decl.Name)
+	}
+	return s
 }
 
-// exec runs one function activation and returns its value.
+// liveSlot is objSlot restricted to fully-constructed objects.
+func (m *machine) liveSlot(ref mem.Ref, cache *refCache) *hslot {
+	s := m.objSlot(ref, cache)
+	if s.state != stLive {
+		m.fail("use of destroyed %s object", s.class.decl.Name)
+	}
+	return s
+}
+
+// bufSlot resolves a buffer reference; freed buffers fault.
+func (m *machine) bufSlot(ref mem.Ref, cache *refCache) *hslot {
+	if ref == mem.Nil {
+		m.fail("null buffer dereference")
+	}
+	s := cache.slot
+	if s == nil || cache.ref != ref {
+		s = m.h.lookup(ref)
+		if s == nil {
+			m.fail("reference 0x%x is not a buffer", uint64(ref))
+		}
+		cache.ref, cache.slot = ref, s
+	}
+	if s.kind != hBuf {
+		m.fail("reference 0x%x is not a buffer", uint64(ref))
+	}
+	if s.state == stFreed {
+		m.fail("use after free of buffer")
+	}
+	return s
+}
+
+// getFrame returns a cleared local-slot array of length n from the free
+// list (or fresh storage when the list is empty or too small).
+func (m *machine) getFrame(n int) []value {
+	if k := len(m.frames) - 1; k >= 0 && cap(m.frames[k]) >= n {
+		f := m.frames[k][:n]
+		m.frames = m.frames[:k]
+		clear(f)
+		return f
+	}
+	return make([]value, n, max(n, 8))
+}
+
+func (m *machine) putFrame(f []value) { m.frames = append(m.frames, f) }
+
+func (m *machine) getStack() []value {
+	if k := len(m.stacks) - 1; k >= 0 {
+		s := m.stacks[k]
+		m.stacks = m.stacks[:k]
+		return s[:0]
+	}
+	return make([]value, 0, 16)
+}
+
+func (m *machine) putStack(s []value) { m.stacks = append(m.stacks, s) }
+
+// flushWork charges the simulator for the work accumulated since the
+// last observable event. Called before every simulator interaction
+// (memory traffic, allocator calls, thread operations) so those happen
+// at the same virtual time as under per-unit charging.
+func (m *machine) flushWork(c *sim.Ctx) {
+	if m.pending > 0 {
+		c.Work(m.pending)
+		m.pending = 0
+	}
+}
+
+// exec runs one function activation and returns its value. Frames and
+// operand stacks come from per-machine free lists, and args may be a
+// zero-copy view into the caller's stack or locals: the copy into the
+// callee's own slots below happens before any other instruction runs,
+// after which the view is dead. OpSpawn is the one caller that must
+// copy eagerly instead — its closure outlives the spawning activation.
 func (m *machine) exec(c *sim.Ctx, fn *Fn, this mem.Ref, args []value) value {
-	slots := make([]value, fn.Slots)
+	prevFn, prevPC := m.curFn, m.curPC
+	m.curFn = fn
+	slots := m.getFrame(fn.Slots)
 	copy(slots, args)
-	stack := make([]value, 0, 16)
-	push := func(v value) { stack = append(stack, v) }
-	pop := func() value {
-		v := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		return v
-	}
-	popN := func(n int) []value {
-		vs := make([]value, n)
-		copy(vs, stack[len(stack)-n:])
-		stack = stack[:len(stack)-n]
-		return vs
-	}
+	stack := m.getStack()
+	var ret value
 
+loop:
 	for pc := 0; pc < len(fn.Code); pc++ {
-		m.steps++
-		if m.steps > m.cfg.MaxSteps {
-			fail("step limit exceeded (%d); non-terminating program?", m.cfg.MaxSteps)
-		}
-		c.Work(1)
+		m.curPC = pc
 		ins := fn.Code[pc]
+		m.steps += int64(ins.W)
+		if m.steps > m.cfg.MaxSteps {
+			m.fail("step limit exceeded (%d); non-terminating program?", m.cfg.MaxSteps)
+		}
+		if m.bulk {
+			m.pending += int64(ins.W)
+		} else {
+			// One Work call per fused instruction, not one bulk charge:
+			// Ctx.Work dilates each charge under oversubscription with
+			// an integer division, so Work(2) can round differently
+			// than two Work(1)s and optimization would perturb
+			// makespans.
+			for range int(ins.W) {
+				c.Work(1)
+			}
+		}
 		switch ins.Op {
 		case OpNop:
 		case OpConst:
 			if ins.B == 1 {
-				push(value{kind: 's', s: m.p.Strs[ins.A]})
+				stack = append(stack, value{kind: 's', s: m.p.Strs[ins.A]})
 			} else {
-				push(iv(m.p.Consts[ins.A]))
+				stack = append(stack, iv(m.p.Consts[ins.A]))
 			}
 		case OpNull:
-			push(rv(mem.Nil))
+			stack = append(stack, rv(mem.Nil))
 		case OpLoadLocal:
-			push(slots[ins.A])
+			stack = append(stack, slots[ins.A])
 		case OpStoreLocal:
-			slots[ins.A] = pop()
+			slots[ins.A] = stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
 		case OpLoadThis:
-			push(rv(this))
+			stack = append(stack, rv(this))
 		case OpLoadField:
-			recv := pop()
-			o := m.object(recv.ref)
+			recv := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			s := m.objSlot(recv.ref, &m.cLoadField)
 			idx := ins.A
 			if ins.B == 1 {
-				idx = fieldIndex(o.class, m.p.Names[ins.A])
+				idx = s.class.fieldOf[ins.A]
 				if idx < 0 {
-					fail("class %s has no field %s", o.class.Name, m.p.Names[ins.A])
+					m.fail("class %s has no field %s", s.class.decl.Name, m.p.Names[ins.A])
 				}
 			}
-			c.Read(uint64(recv.ref)+uint64(o.class.Fields[idx].Offset), cc.FieldSize)
-			push(o.fields[idx])
+			m.flushWork(c)
+			c.Read(uint64(recv.ref)+uint64(s.class.offsets[idx]), cc.FieldSize)
+			stack = append(stack, s.fields[idx])
 		case OpStoreField:
-			recv := pop()
-			v := pop()
-			o := m.object(recv.ref)
+			recv := stack[len(stack)-1]
+			v := stack[len(stack)-2]
+			stack = stack[:len(stack)-2]
+			s := m.objSlot(recv.ref, &m.cStoreField)
 			idx := ins.A
 			if ins.B == 1 {
-				idx = fieldIndex(o.class, m.p.Names[ins.A])
+				idx = s.class.fieldOf[ins.A]
 				if idx < 0 {
-					fail("class %s has no field %s", o.class.Name, m.p.Names[ins.A])
+					m.fail("class %s has no field %s", s.class.decl.Name, m.p.Names[ins.A])
 				}
 			}
-			c.Write(uint64(recv.ref)+uint64(o.class.Fields[idx].Offset), cc.FieldSize)
-			o.fields[idx] = v
+			m.flushWork(c)
+			c.Write(uint64(recv.ref)+uint64(s.class.offsets[idx]), cc.FieldSize)
+			s.fields[idx] = v
 		case OpIndexLoad:
-			i := pop()
-			b := pop()
-			buf := m.buffer(b.ref)
-			if i.i < 0 || i.i >= buf.length {
-				fail("index %d out of range [0,%d)", i.i, buf.length)
+			i := stack[len(stack)-1]
+			bref := stack[len(stack)-2]
+			stack = stack[:len(stack)-2]
+			s := m.bufSlot(bref.ref, &m.cIndexLoad)
+			if i.i < 0 || i.i >= s.length {
+				m.fail("index %d out of range [0,%d)", i.i, s.length)
 			}
-			c.Read(uint64(b.ref)+uint64(i.i)*uint64(buf.elemSize), int64(buf.elemSize))
-			push(iv(buf.data[i.i]))
+			m.flushWork(c)
+			c.Read(uint64(bref.ref)+uint64(i.i)*uint64(s.elemSize), int64(s.elemSize))
+			stack = append(stack, iv(s.data[i.i]))
 		case OpIndexStore:
-			i := pop()
-			b := pop()
-			v := pop()
-			buf := m.buffer(b.ref)
-			if i.i < 0 || i.i >= buf.length {
-				fail("index %d out of range [0,%d)", i.i, buf.length)
+			i := stack[len(stack)-1]
+			bref := stack[len(stack)-2]
+			v := stack[len(stack)-3]
+			stack = stack[:len(stack)-3]
+			s := m.bufSlot(bref.ref, &m.cIndexStore)
+			if i.i < 0 || i.i >= s.length {
+				m.fail("index %d out of range [0,%d)", i.i, s.length)
 			}
-			c.Write(uint64(b.ref)+uint64(i.i)*uint64(buf.elemSize), int64(buf.elemSize))
-			buf.data[i.i] = v.i
+			m.flushWork(c)
+			c.Write(uint64(bref.ref)+uint64(i.i)*uint64(s.elemSize), int64(s.elemSize))
+			s.data[i.i] = v.i
 		case OpAdd, OpSub, OpMul, OpDiv, OpMod, OpEq, OpNe, OpLt, OpLe, OpGt, OpGe:
-			y := pop()
-			x := pop()
-			push(m.arith(ins.Op, x, y))
+			y := stack[len(stack)-1]
+			x := stack[len(stack)-2]
+			stack = stack[:len(stack)-1]
+			stack[len(stack)-1] = m.arith(ins.Op, x, y)
 		case OpNeg:
-			x := pop()
-			push(iv(-x.i))
+			stack[len(stack)-1] = iv(-stack[len(stack)-1].i)
 		case OpNot:
-			x := pop()
-			if x.truthy() {
-				push(iv(0))
+			if stack[len(stack)-1].truthy() {
+				stack[len(stack)-1] = iv(0)
 			} else {
-				push(iv(1))
+				stack[len(stack)-1] = iv(1)
 			}
 		case OpJmp:
 			pc = int(ins.A) - 1
 		case OpJmpFalse:
-			if !pop().truthy() {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if !v.truthy() {
 				pc = int(ins.A) - 1
 			}
 		case OpJmpTrue:
-			if pop().truthy() {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if v.truthy() {
 				pc = int(ins.A) - 1
 			}
 		case OpDup:
-			push(stack[len(stack)-1])
+			stack = append(stack, stack[len(stack)-1])
 		case OpPop:
-			pop()
+			stack = stack[:len(stack)-1]
 		case OpCall:
-			args := popN(int(ins.B))
-			push(m.exec(c, m.p.Fns[ins.A], mem.Nil, args))
+			n := int(ins.B)
+			args := stack[len(stack)-n:]
+			stack = stack[:len(stack)-n]
+			stack = append(stack, m.exec(c, m.p.Fns[ins.A], mem.Nil, args))
 		case OpMethod:
-			args := popN(int(ins.B))
-			recv := pop()
-			o := m.live(recv.ref)
-			id, ok := m.p.methodID[methodKey{o.class.Name, cc.PlainMethod, m.p.Names[ins.A]}]
-			if !ok {
-				fail("class %s has no method %s", o.class.Name, m.p.Names[ins.A])
+			n := int(ins.B)
+			args := stack[len(stack)-n:]
+			stack = stack[:len(stack)-n]
+			recv := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			s := m.liveSlot(recv.ref, &m.cMethod)
+			ic := &m.ics[ins.C]
+			callee := ic.fn
+			if ic.class != s.class {
+				id := s.class.vtable[ins.A]
+				if id < 0 {
+					m.fail("class %s has no method %s", s.class.decl.Name, m.p.Names[ins.A])
+				}
+				callee = m.p.Fns[id]
+				ic.class, ic.fn = s.class, callee
 			}
-			push(m.exec(c, m.p.Fns[id], recv.ref, args))
+			stack = append(stack, m.exec(c, callee, recv.ref, args))
 		case OpDtor:
-			recv := pop()
-			o := m.live(recv.ref)
-			if o.class.Name != m.p.Names[ins.A] {
-				fail("destructor ~%s called on %s object", m.p.Names[ins.A], o.class.Name)
+			recv := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			s := m.liveSlot(recv.ref, &m.cMisc)
+			ci := m.p.classes[ins.A]
+			if s.class != ci {
+				m.fail("destructor ~%s called on %s object", ci.decl.Name, s.class.decl.Name)
 			}
-			m.runDtor(c, o, recv.ref)
+			m.runDtor(c, s, recv.ref)
 		case OpNew, OpPlacementNew:
-			args := popN(int(ins.B))
+			n := int(ins.B)
+			args := stack[len(stack)-n:]
+			stack = stack[:len(stack)-n]
 			var placement value
 			if ins.Op == OpPlacementNew {
-				placement = pop()
+				placement = stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
 			}
-			push(m.doNew(c, m.p.Names[ins.A], placement, args))
+			stack = append(stack, m.doNew(c, m.p.classes[ins.A], placement, args))
 		case OpNewArray:
-			n := pop()
-			push(m.newBuffer(c, ins.A, n.i))
+			n := stack[len(stack)-1]
+			stack[len(stack)-1] = m.newBuffer(c, ins.A, n.i)
 		case OpDelete:
-			m.doDelete(c, pop())
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			m.doDelete(c, v)
 		case OpDeleteArray:
-			v := pop()
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
 			if v.ref == mem.Nil {
 				break
 			}
-			b := m.buffer(v.ref)
-			b.state = stFreed
+			s := m.bufSlot(v.ref, &m.cMisc)
+			s.state = stFreed
+			m.flushWork(c)
 			m.alloc.Free(c, v.ref)
 		case OpRet:
-			return pop()
+			ret = stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			break loop
 		case OpRetVoid:
-			return value{}
+			break loop
 		case OpPrint:
-			args := popN(int(ins.A))
-			parts := make([]string, len(args))
-			for i, a := range args {
-				parts[i] = a.text()
+			base := len(stack) - int(ins.A)
+			for i := base; i < len(stack); i++ {
+				if i > base {
+					m.out.WriteByte(' ')
+				}
+				m.out.WriteString(stack[i].text())
 			}
-			m.out.WriteString(strings.Join(parts, " "))
 			m.out.WriteByte('\n')
+			stack = stack[:base]
 		case OpSpawn:
-			args := popN(int(ins.B))
+			n := int(ins.B)
+			args := make([]value, n)
+			copy(args, stack[len(stack)-n:])
+			stack = stack[:len(stack)-n]
+			m.flushWork(c)
 			m.spawned++
 			m.joinable.Add(1)
 			fnID := ins.A
-			c.Go(fmt.Sprintf("%s#%d", m.p.Fns[fnID].Name, m.spawned), func(cc2 *sim.Ctx) {
-				m.exec(cc2, m.p.Fns[fnID], mem.Nil, args)
-				m.joinable.Done(cc2)
+			c.Go(fmt.Sprintf("%s#%d", m.p.Fns[fnID].Name, m.spawned), func(c2 *sim.Ctx) {
+				m.exec(c2, m.p.Fns[fnID], mem.Nil, args)
+				m.joinable.Done(c2)
 			})
 		case OpJoin:
+			m.flushWork(c)
 			m.joinable.Wait(c)
 		case OpWork:
-			n := pop()
+			n := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
 			if n.i > 0 {
+				m.flushWork(c)
 				c.Work(n.i)
 			}
 		case OpPoolAlloc:
-			cd := m.class(m.p.Names[ins.A])
-			pl := m.poolFor(cd)
+			ci := m.p.classes[ins.A]
+			pl := m.poolFor(ci)
+			m.flushWork(c)
 			ref, reused := pl.Alloc(c)
-			if !reused {
-				m.objects[ref] = zeroRecord(cd)
+			if reused {
+				m.h.ensure(ref).state = stLive
 			} else {
-				m.objects[ref].state = stLive
+				m.h.ensure(ref).setObject(ci)
 			}
-			push(rv(ref))
+			stack = append(stack, rv(ref))
 		case OpPoolFree:
-			v := pop()
-			cd := m.class(m.p.Names[ins.A])
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			ci := m.p.classes[ins.A]
 			if v.ref == mem.Nil {
 				break
 			}
-			o := m.object(v.ref)
-			if o.class != cd {
-				fail("__pool_free: %s object given to %s pool", o.class.Name, cd.Name)
+			s := m.objSlot(v.ref, &m.cMisc)
+			if s.class != ci {
+				m.fail("__pool_free: %s object given to %s pool", s.class.decl.Name, ci.decl.Name)
 			}
-			if pooled := m.poolFor(cd).Free(c, v.ref); !pooled {
-				o.state = stFreed
+			m.flushWork(c)
+			if pooled := m.poolFor(ci).Free(c, v.ref); !pooled {
+				s.state = stFreed
 			}
 		case OpRealloc:
-			n := pop()
-			ptr := pop()
-			push(m.doRealloc(c, ptr, n.i))
+			n := stack[len(stack)-1]
+			ptr := stack[len(stack)-2]
+			stack = stack[:len(stack)-1]
+			stack[len(stack)-1] = m.doRealloc(c, ptr, n.i)
 		case OpShadowSave:
-			v := pop()
+			v := stack[len(stack)-1]
 			if v.ref == mem.Nil {
-				push(rv(mem.Nil))
+				stack[len(stack)-1] = rv(mem.Nil)
 				break
 			}
-			b := m.buffer(v.ref)
-			if m.rt.ShadowSave(c, v.ref, b.usable) {
-				b.state = stDestroyed
-				push(rv(v.ref))
+			s := m.bufSlot(v.ref, &m.cMisc)
+			m.flushWork(c)
+			if m.rt.ShadowSave(c, v.ref, s.usable) {
+				s.state = stDestroyed
+				stack[len(stack)-1] = rv(v.ref)
 			} else {
-				b.state = stFreed
-				push(rv(mem.Nil))
+				s.state = stFreed
+				stack[len(stack)-1] = rv(mem.Nil)
 			}
+		case OpLoadLocalField:
+			recv := slots[ins.A]
+			s := m.objSlot(recv.ref, &m.cLoadField)
+			idx := s.class.fieldOf[ins.B]
+			if idx < 0 {
+				m.fail("class %s has no field %s", s.class.decl.Name, m.p.Names[ins.B])
+			}
+			m.flushWork(c)
+			c.Read(uint64(recv.ref)+uint64(s.class.offsets[idx]), cc.FieldSize)
+			stack = append(stack, s.fields[idx])
+		case OpAddConst:
+			x := stack[len(stack)-1]
+			if x.kind == 'r' {
+				m.fail("invalid pointer arithmetic")
+			}
+			stack[len(stack)-1] = iv(x.i + m.p.Consts[ins.A])
+		case OpCallL1:
+			stack = append(stack, m.exec(c, m.p.Fns[ins.A], mem.Nil, slots[ins.B:ins.B+1]))
+		case OpCallL2:
+			m.argScratch[0] = slots[ins.B&0xffff]
+			m.argScratch[1] = slots[ins.B>>16]
+			stack = append(stack, m.exec(c, m.p.Fns[ins.A], mem.Nil, m.argScratch[:2]))
 		default:
-			fail("unknown opcode %s", ins.Op)
+			m.fail("unknown opcode %s", ins.Op)
 		}
 	}
-	return value{}
+	m.putFrame(slots)
+	m.putStack(stack)
+	m.curFn, m.curPC = prevFn, prevPC
+	return ret
 }
 
 func (m *machine) arith(op Op, x, y value) value {
@@ -503,7 +674,7 @@ func (m *machine) arith(op Op, x, y value) value {
 			}
 			return iv(1)
 		}
-		fail("invalid pointer arithmetic")
+		m.fail("invalid pointer arithmetic")
 	}
 	b := func(cond bool) value {
 		if cond {
@@ -520,12 +691,12 @@ func (m *machine) arith(op Op, x, y value) value {
 		return iv(x.i * y.i)
 	case OpDiv:
 		if y.i == 0 {
-			fail("division by zero")
+			m.fail("division by zero")
 		}
 		return iv(x.i / y.i)
 	case OpMod:
 		if y.i == 0 {
-			fail("modulo by zero")
+			m.fail("modulo by zero")
 		}
 		return iv(x.i % y.i)
 	case OpEq:
@@ -541,102 +712,101 @@ func (m *machine) arith(op Op, x, y value) value {
 	case OpGe:
 		return b(x.i >= y.i)
 	}
-	fail("bad arith op")
+	m.fail("bad arith op")
 	return value{}
 }
 
-func (m *machine) runCtor(c *sim.Ctx, cd *cc.ClassDecl, ref mem.Ref, args []value) {
-	if id, ok := m.p.methodID[methodKey{cd.Name, cc.Ctor, ""}]; ok {
-		m.exec(c, m.p.Fns[id], ref, args)
+func (m *machine) runCtor(c *sim.Ctx, ci *classInfo, ref mem.Ref, args []value) {
+	if ci.ctor >= 0 {
+		m.exec(c, m.p.Fns[ci.ctor], ref, args)
 	}
 }
 
-func (m *machine) runDtor(c *sim.Ctx, o *object, ref mem.Ref) {
-	if id, ok := m.p.methodID[methodKey{o.class.Name, cc.Dtor, ""}]; ok {
-		m.exec(c, m.p.Fns[id], ref, nil)
+func (m *machine) runDtor(c *sim.Ctx, s *hslot, ref mem.Ref) {
+	if s.class.dtor >= 0 {
+		m.exec(c, m.p.Fns[s.class.dtor], ref, nil)
 	}
-	o.state = stDestroyed
+	s.state = stDestroyed
 }
 
-func (m *machine) doNew(c *sim.Ctx, className string, placement value, args []value) value {
-	cd := m.class(className)
+func (m *machine) doNew(c *sim.Ctx, ci *classInfo, placement value, args []value) value {
+	m.flushWork(c)
 	if placement.kind == 'r' && placement.ref != mem.Nil {
-		o := m.object(placement.ref)
-		if o.class != cd {
-			fail("placement new: shadow holds %s, want %s", o.class.Name, cd.Name)
+		s := m.objSlot(placement.ref, &m.cMisc)
+		if s.class != ci {
+			m.fail("placement new: shadow holds %s, want %s", s.class.decl.Name, ci.decl.Name)
 		}
-		if o.state != stLive {
-			o.state = stLive
-			m.runCtor(c, cd, placement.ref, args)
+		if s.state != stLive {
+			s.state = stLive
+			m.runCtor(c, ci, placement.ref, args)
 			return rv(placement.ref)
 		}
 		// Live shadow: the structure is not identical — reorganize by
 		// allocating normally (§3.2).
 	}
 	var ref mem.Ref
-	if id, ok := m.p.methodID[methodKey{cd.Name, cc.OpNew, ""}]; ok {
-		v := m.exec(c, m.p.Fns[id], mem.Nil, []value{iv(cd.Size)})
+	if ci.opNew >= 0 {
+		m.argScratch[0] = iv(ci.decl.Size)
+		v := m.exec(c, m.p.Fns[ci.opNew], mem.Nil, m.argScratch[:1])
 		if v.kind != 'r' || v.ref == mem.Nil {
-			fail("operator new of %s returned %s", cd.Name, v.text())
+			m.fail("operator new of %s returned %s", ci.decl.Name, v.text())
 		}
-		o, ok := m.objects[v.ref]
-		if !ok {
-			fail("operator new of %s returned a non-object reference", cd.Name)
+		s := m.h.lookup(v.ref)
+		if s == nil || s.kind != hObj {
+			m.fail("operator new of %s returned a non-object reference", ci.decl.Name)
 		}
-		o.state = stLive
+		s.state = stLive
 		ref = v.ref
 	} else {
-		ref = m.alloc.Alloc(c, cd.Size)
-		m.objects[ref] = zeroRecord(cd)
+		ref = m.alloc.Alloc(c, ci.decl.Size)
+		m.h.ensure(ref).setObject(ci)
 	}
-	m.runCtor(c, cd, ref, args)
+	m.runCtor(c, ci, ref, args)
 	return rv(ref)
 }
 
 func (m *machine) doDelete(c *sim.Ctx, v value) {
+	m.flushWork(c)
 	if v.kind != 'r' {
-		fail("delete of non-pointer value")
+		m.fail("delete of non-pointer value")
 	}
 	if v.ref == mem.Nil {
 		return
 	}
-	o := m.live(v.ref)
-	m.runDtor(c, o, v.ref)
-	if id, ok := m.p.methodID[methodKey{o.class.Name, cc.OpDelete, ""}]; ok {
-		m.exec(c, m.p.Fns[id], v.ref, []value{rv(v.ref)})
+	s := m.liveSlot(v.ref, &m.cMisc)
+	m.runDtor(c, s, v.ref)
+	if s.class.opDelete >= 0 {
+		m.argScratch[0] = rv(v.ref)
+		m.exec(c, m.p.Fns[s.class.opDelete], v.ref, m.argScratch[:1])
 		return
 	}
-	o.state = stFreed
+	s.state = stFreed
 	m.alloc.Free(c, v.ref)
 }
 
 func (m *machine) newBuffer(c *sim.Ctx, elemSize int32, n int64) value {
+	m.flushWork(c)
 	if n < 0 {
-		fail("new array with negative length %d", n)
+		m.fail("new array with negative length %d", n)
 	}
 	size := n * int64(elemSize)
 	if size == 0 {
 		size = 1
 	}
 	ref := m.alloc.Alloc(c, size)
-	m.buffers[ref] = &buffer{
-		elemSize: elemSize,
-		length:   n,
-		usable:   m.alloc.UsableSize(ref),
-		data:     make([]int64, n),
-		state:    stLive,
-	}
+	m.h.ensure(ref).setBuffer(elemSize, n, m.alloc.UsableSize(ref))
 	return rv(ref)
 }
 
 func (m *machine) doRealloc(c *sim.Ctx, ptr value, n int64) value {
+	m.flushWork(c)
 	if n < 0 {
-		fail("realloc: negative size")
+		m.fail("realloc: negative size")
 	}
-	var prev *buffer
+	var prev *hslot
 	var prevUsable int64
 	if ptr.ref != mem.Nil {
-		prev = m.buffer(ptr.ref)
+		prev = m.bufSlot(ptr.ref, &m.cMisc)
 		prevUsable = prev.usable
 	}
 	size := n
@@ -664,12 +834,6 @@ func (m *machine) doRealloc(c *sim.Ctx, ptr value, n int64) value {
 	if prev != nil {
 		prev.state = stFreed
 	}
-	m.buffers[ref] = &buffer{
-		elemSize: elemSize,
-		length:   length,
-		usable:   usable,
-		data:     make([]int64, length),
-		state:    stLive,
-	}
+	m.h.ensure(ref).setBuffer(elemSize, length, usable)
 	return rv(ref)
 }

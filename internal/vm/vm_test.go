@@ -183,9 +183,36 @@ int main() { A* a = new A(); delete a; return a->x; }`, "use after free"},
 	}
 }
 
+func TestRuntimeErrorsCarryFaultContext(t *testing.T) {
+	// Faults report the function, pc and opcode so a crashing generated
+	// program can be matched against its disassembly.
+	src := `
+class A { public: A() { } int x; };
+int helper(A* a) { return a->x; }
+int main() { return helper(null); }`
+	for _, cfg := range []Config{{}, {NoOpt: true}} {
+		_, err := RunSource(src, cfg)
+		if err == nil {
+			t.Fatal("expected a null-dereference fault")
+		}
+		msg := err.Error()
+		if !strings.Contains(msg, "null pointer dereference") ||
+			!strings.Contains(msg, "at helper@") {
+			t.Fatalf("fault lacks context: %q", msg)
+		}
+		// The faulting op differs by optimization level (the peephole
+		// fuses loadl+loadf into loadlf), but one of them must appear.
+		if !strings.Contains(msg, "loadf") && !strings.Contains(msg, "loadlf") {
+			t.Fatalf("fault lacks opcode: %q", msg)
+		}
+	}
+}
+
 func TestDisassemble(t *testing.T) {
 	prog := cc.MustAnalyze(cc.MustParse(`int main() { int x = 1 + 2; return x; }`))
-	p, err := Compile(prog)
+	// NoOpt: this test inspects the compiler's lowering; the peephole
+	// pass would fold 1+2 into a single constant.
+	p, err := CompileOpts(prog, Options{NoOpt: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -194,6 +221,13 @@ func TestDisassemble(t *testing.T) {
 		if !strings.Contains(dis, want) {
 			t.Errorf("disassembly missing %q:\n%s", want, dis)
 		}
+	}
+	opt, err := Compile(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dis := opt.Disassemble(opt.Fns[opt.FuncID["main"]]); strings.Contains(dis, "add") {
+		t.Errorf("optimized disassembly still has the folded add:\n%s", dis)
 	}
 }
 
@@ -231,6 +265,17 @@ func TestCrossEngineDifferential(t *testing.T) {
 			vRes, err := RunSource(program, Config{})
 			if err != nil {
 				t.Fatalf("seed %d %s: vm: %v", seed, name, err)
+			}
+			// The bytecode optimizer must be invisible to the simulation:
+			// the unoptimized VM run agrees on every observable, the
+			// makespan included.
+			nRes, err := RunSource(program, Config{NoOpt: true})
+			if err != nil {
+				t.Fatalf("seed %d %s: vm -no-opt: %v", seed, name, err)
+			}
+			if vRes != nRes {
+				t.Fatalf("seed %d %s: optimizer changed simulated results\n-O:      %+v\n-no-opt: %+v",
+					seed, name, vRes, nRes)
 			}
 			if sortedLines(iRes.Output) != sortedLines(vRes.Output) {
 				t.Fatalf("seed %d %s: engines disagree\ninterp:\n%s\nvm:\n%s\nprogram:\n%s",
