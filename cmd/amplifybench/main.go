@@ -14,7 +14,12 @@
 //	              (default: the host's CPU count; output is identical
 //	              for every N — only wall-clock changes)
 //	-json         emit a machine-readable BENCH report (schema
-//	              amplify-bench/1) on stdout instead of text
+//	              amplify-bench/2) on stdout instead of text
+//	-trace-dir d  export observability artifacts into d: Chrome traces
+//	              of the tree workload under serial/ptmalloc/amplify, a
+//	              JSONL event stream, a per-lock contention profile,
+//	              folded stacks of the end-to-end MiniCC program, and a
+//	              metrics.json snapshot
 //	-no-opt       disable the VM bytecode optimizer (default runs -O);
 //	              simulated results are identical either way — CI
 //	              enforces it — only host wall-clock changes
@@ -50,6 +55,7 @@ func run() error {
 	jobs := flag.Int("j", runtime.NumCPU(), "max concurrent simulations")
 	jsonOut := flag.Bool("json", false, "emit machine-readable report on stdout")
 	noOpt := flag.Bool("no-opt", false, "disable the VM bytecode optimizer (identical simulated results, slower host)")
+	traceDir := flag.String("trace-dir", "", "export trace/profile/metrics artifacts into this directory")
 	cpuprofile := flag.String("cpuprofile", "", "write CPU profile to file")
 	memprofile := flag.String("memprofile", "", "write heap profile to file")
 	flag.Parse()
@@ -105,6 +111,13 @@ func run() error {
 		}
 	} else if err := runText(r, todo, *format); err != nil {
 		return err
+	}
+
+	if *traceDir != "" {
+		if err := r.ExportTraces(*traceDir); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "observability artifacts written to %s\n", *traceDir)
 	}
 
 	if *memprofile != "" {

@@ -6,29 +6,40 @@
 //
 // Flags:
 //
-//	-alloc s     C-library allocator: serial | ptmalloc | hoard | smartheap
-//	-procs n     simulated processors (default 8)
-//	-amplify     run the Amplify pre-processor before executing
-//	-arrays-only with -amplify: only shadow data-type arrays
-//	-mode m      with -amplify: shadow | flag
-//	-no-opt      with the vm engine: disable the bytecode optimizer
-//	             (the default -O behavior changes nothing simulated,
-//	             only host speed)
-//	-stats       print execution statistics to stderr
-//	-vet         lint the program first; refuse to run on errors
+//	-alloc s      C-library allocator: serial | ptmalloc | hoard | smartheap
+//	-procs n      simulated processors (default 8)
+//	-amplify      run the Amplify pre-processor before executing
+//	-arrays-only  with -amplify: only shadow data-type arrays
+//	-mode m       with -amplify: shadow | flag
+//	-no-opt       with the vm engine: disable the bytecode optimizer
+//	              (the default -O behavior changes nothing simulated,
+//	              only host speed)
+//	-stats        print execution statistics to stderr
+//	-vet          lint the program first; refuse to run on errors
+//	-trace-out f  write a Chrome trace_event JSON file (load it in
+//	              chrome://tracing or Perfetto; one track per virtual CPU,
+//	              async slices for lock-wait intervals)
+//	-trace-jsonl f write the simulation events as compact JSON lines
+//	-profile-out f write pprof-style folded stacks attributing simulated
+//	              cycles to MiniCC functions (vm engine only); the
+//	              per-lock contention profile goes to f.locks
+//	-metrics f    write a JSON metrics snapshot of the run
 //
 // The program's print() output goes to stdout; the exit code is main's
 // return value.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 
+	"amplify/internal/alloc"
 	"amplify/internal/core"
 	"amplify/internal/interp"
+	"amplify/internal/obsv"
 	"amplify/internal/sim"
 	"amplify/internal/vet"
 	"amplify/internal/vm"
@@ -36,15 +47,14 @@ import (
 
 // runResult is the engine-independent result view.
 type runResult struct {
-	output                      string
-	exitCode                    int64
-	makespan                    int64
-	allocs, frees               int64
-	poolHits, poolMisses        int64
-	shadowReuses                int64
-	lockAcquires, lockContended int64
-	cacheMisses, cacheHits      int64
-	footprint                   int64
+	output               string
+	exitCode             int64
+	makespan             int64
+	alloc                alloc.Stats
+	poolHits, poolMisses int64
+	shadowReuses         int64
+	sim                  sim.Stats
+	footprint            int64
 }
 
 func main() {
@@ -57,6 +67,10 @@ func main() {
 	noOpt := flag.Bool("no-opt", false, "with -engine vm: disable the bytecode optimizer")
 	stats := flag.Bool("stats", false, "print execution statistics to stderr")
 	trace := flag.Int("trace", 0, "print the first N simulation events to stderr")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace_event JSON file of the run")
+	traceJSONL := flag.String("trace-jsonl", "", "write the simulation events as compact JSON lines")
+	profileOut := flag.String("profile-out", "", "write folded stacks of simulated cycles (vm engine only); per-lock profile goes to <file>.locks")
+	metricsOut := flag.String("metrics", "", "write a JSON metrics snapshot of the run")
 	vetFirst := flag.Bool("vet", false, "lint the program before running; refuse to run on errors")
 	flag.Parse()
 
@@ -93,9 +107,19 @@ func main() {
 			fmt.Fprint(os.Stderr, rep.String())
 		}
 	}
+	needEvents := *traceOut != "" || *traceJSONL != "" || *profileOut != ""
 	var rec *sim.Recorder
 	if *trace > 0 {
 		rec = &sim.Recorder{Max: *trace}
+	} else if needEvents {
+		rec = &sim.Recorder{Max: 4_000_000}
+	}
+	var prof *obsv.Profiler
+	if *profileOut != "" {
+		if *engine != "vm" {
+			fatal(fmt.Errorf("-profile-out needs -engine vm (the ast engine has no call hooks)"))
+		}
+		prof = obsv.NewProfiler()
 	}
 	var res runResult
 	switch *engine {
@@ -108,39 +132,113 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		res = runResult{r.Output, r.ExitCode, r.Makespan, r.Alloc.Allocs, r.Alloc.Frees,
-			r.PoolHits, r.PoolMisses, r.ShadowReuses, r.Sim.LockAcquires, r.Sim.LockContended,
-			r.Sim.CacheMisses, r.Sim.CacheHits, r.Footprint}
+		res = runResult{r.Output, r.ExitCode, r.Makespan, r.Alloc,
+			r.PoolHits, r.PoolMisses, r.ShadowReuses, r.Sim, r.Footprint}
 	case "vm":
 		vcfg := vm.Config{Processors: *procs, Strategy: *allocName, NoOpt: *noOpt}
 		if rec != nil {
 			vcfg.Tracer = rec
 		}
+		if prof != nil {
+			vcfg.Profiler = prof
+		}
 		r, err := vm.RunSource(src, vcfg)
 		if err != nil {
 			fatal(err)
 		}
-		res = runResult{r.Output, r.ExitCode, r.Makespan, r.Alloc.Allocs, r.Alloc.Frees,
-			r.PoolHits, r.PoolMisses, r.ShadowReuses, r.Sim.LockAcquires, r.Sim.LockContended,
-			r.Sim.CacheMisses, r.Sim.CacheHits, r.Footprint}
+		res = runResult{r.Output, r.ExitCode, r.Makespan, r.Alloc,
+			r.PoolHits, r.PoolMisses, r.ShadowReuses, r.Sim, r.Footprint}
 	default:
 		fatal(fmt.Errorf("unknown engine %q (want vm or ast)", *engine))
 	}
-	if rec != nil {
+	if rec != nil && *trace > 0 {
 		fmt.Fprint(os.Stderr, rec.Timeline())
+	}
+	if err := writeArtifacts(rec, prof, res, *procs, *traceOut, *traceJSONL, *profileOut, *metricsOut); err != nil {
+		fatal(err)
 	}
 	fmt.Print(res.output)
 	if *stats {
 		fmt.Fprintf(os.Stderr, "execution statistics (%s engine)\n", *engine)
 		fmt.Fprintf(os.Stderr, "  makespan:        %d cycles\n", res.makespan)
-		fmt.Fprintf(os.Stderr, "  heap allocs:     %d (frees %d)\n", res.allocs, res.frees)
+		fmt.Fprintf(os.Stderr, "  heap allocs:     %d (frees %d)\n", res.alloc.Allocs, res.alloc.Frees)
 		fmt.Fprintf(os.Stderr, "  pool hits:       %d (misses %d)\n", res.poolHits, res.poolMisses)
 		fmt.Fprintf(os.Stderr, "  shadow reuses:   %d\n", res.shadowReuses)
-		fmt.Fprintf(os.Stderr, "  lock acquires:   %d (contended %d)\n", res.lockAcquires, res.lockContended)
-		fmt.Fprintf(os.Stderr, "  cache misses:    %d (hits %d)\n", res.cacheMisses, res.cacheHits)
+		fmt.Fprintf(os.Stderr, "  lock acquires:   %d (contended %d)\n", res.sim.LockAcquires, res.sim.LockContended)
+		fmt.Fprintf(os.Stderr, "  cache misses:    %d (hits %d)\n", res.sim.CacheMisses, res.sim.CacheHits)
 		fmt.Fprintf(os.Stderr, "  footprint:       %d bytes\n", res.footprint)
 	}
 	os.Exit(int(res.exitCode))
+}
+
+// writeArtifacts emits the requested observability files. Every JSON
+// artifact is checked with json.Valid before it reaches disk.
+func writeArtifacts(rec *sim.Recorder, prof *obsv.Profiler, res runResult, procs int, traceOut, traceJSONL, profileOut, metricsOut string) error {
+	var events []sim.Event
+	if rec != nil {
+		events = rec.Snapshot()
+	}
+	if traceOut != "" {
+		out, err := obsv.ChromeTrace(events, procs)
+		if err != nil {
+			return err
+		}
+		if !json.Valid(out) {
+			return fmt.Errorf("trace export produced invalid JSON")
+		}
+		if err := os.WriteFile(traceOut, out, 0o644); err != nil {
+			return err
+		}
+	}
+	if traceJSONL != "" {
+		out, err := obsv.JSONL(events)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(traceJSONL, out, 0o644); err != nil {
+			return err
+		}
+	}
+	if profileOut != "" {
+		prof.Finish(res.makespan)
+		if err := os.WriteFile(profileOut, []byte(prof.Folded()), 0o644); err != nil {
+			return err
+		}
+		locks := obsv.FormatLockProfile(obsv.LockProfile(events))
+		if err := os.WriteFile(profileOut+".locks", []byte(locks), 0o644); err != nil {
+			return err
+		}
+	}
+	if metricsOut != "" {
+		reg := obsv.NewRegistry()
+		reg.Set("makespan", res.makespan)
+		reg.Set("alloc.allocs", res.alloc.Allocs)
+		reg.Set("alloc.frees", res.alloc.Frees)
+		reg.Set("alloc.peak_bytes", res.alloc.PeakBytes)
+		reg.Set("pool.hits", res.poolHits)
+		reg.Set("pool.misses", res.poolMisses)
+		reg.Set("shadow.reuses", res.shadowReuses)
+		reg.Set("sim.lock.acquires", res.sim.LockAcquires)
+		reg.Set("sim.lock.contended", res.sim.LockContended)
+		reg.Set("sim.lock.wait_cycles", res.sim.LockWaitTime)
+		reg.Set("sim.cache.hits", res.sim.CacheHits)
+		reg.Set("sim.cache.misses", res.sim.CacheMisses)
+		reg.Set("sim.cache.invalidations", res.sim.CacheInvalidations)
+		reg.Set("sim.cache.rfos", res.sim.CacheRFOs)
+		reg.Set("sim.migrations", res.sim.Migrations)
+		reg.Set("footprint.bytes", res.footprint)
+		out, err := reg.JSON()
+		if err != nil {
+			return err
+		}
+		if !json.Valid(out) {
+			return fmt.Errorf("metrics export produced invalid JSON")
+		}
+		if err := os.WriteFile(metricsOut, out, 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func readInput(path string) (string, error) {

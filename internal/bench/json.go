@@ -10,8 +10,10 @@ import (
 )
 
 // ReportSchema identifies the BENCH.json layout; bump on incompatible
-// changes so trajectory tooling can dispatch on it.
-const ReportSchema = "amplify-bench/1"
+// changes so trajectory tooling can dispatch on it. Version 2 added
+// the unified metrics registry snapshot (Metrics); the simulated
+// makespans are unchanged from version 1.
+const ReportSchema = "amplify-bench/2"
 
 // Report is the machine-readable record of one amplifybench
 // invocation: what ran, how long the host took, and every simulated
@@ -30,6 +32,11 @@ type Report struct {
 	// hosts, -j values, or reruns — only across semantic changes to the
 	// simulator or workloads.
 	Makespans map[string]int64 `json:"makespans"`
+	// Metrics is the unified observability registry: aggregate
+	// simulator, allocator and pool counters summed over every memo
+	// cell the experiments computed (see Runner.Metrics). Deterministic
+	// for a given experiment set, like Makespans.
+	Metrics map[string]int64 `json:"metrics"`
 }
 
 // ExperimentReport records one experiment: host wall-clock spent
@@ -99,6 +106,7 @@ func (r *Runner) Report(names []string) (*Report, error) {
 		rep.Experiments = append(rep.Experiments, er)
 	}
 	rep.Makespans = r.Makespans()
+	rep.Metrics = r.Metrics()
 	return rep, nil
 }
 

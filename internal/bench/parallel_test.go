@@ -126,4 +126,12 @@ func TestReport(t *testing.T) {
 			t.Errorf("cell key %q not namespaced", k)
 		}
 	}
+	if len(rep.Metrics) == 0 {
+		t.Fatal("no metrics recorded")
+	}
+	for _, name := range []string{"sim.lock.acquires", "sim.cache.misses", "alloc.allocs", "cells.tree"} {
+		if rep.Metrics[name] <= 0 {
+			t.Errorf("metric %s = %d, want > 0", name, rep.Metrics[name])
+		}
+	}
 }

@@ -1,0 +1,43 @@
+package obsv
+
+import (
+	"bytes"
+	"encoding/json"
+
+	"amplify/internal/sim"
+)
+
+// jsonlEvent is the compact line form of one sim.Event. Field order is
+// fixed by the struct so the output is deterministic and diffable.
+type jsonlEvent struct {
+	T      int64  `json:"t"`
+	Thread int    `json:"th"`
+	CPU    int    `json:"cpu"`
+	Kind   string `json:"kind"`
+	Detail string `json:"d,omitempty"`
+	A1     int64  `json:"a1,omitempty"`
+	A2     int64  `json:"a2,omitempty"`
+}
+
+// JSONL serializes events one compact JSON object per line — the
+// programmatic counterpart of the Chrome export, meant for grep, jq
+// and byte-level diffing between runs.
+func JSONL(events []sim.Event) ([]byte, error) {
+	var b bytes.Buffer
+	enc := json.NewEncoder(&b)
+	for _, e := range events {
+		le := jsonlEvent{
+			T:      e.Time,
+			Thread: e.Thread,
+			CPU:    e.CPU,
+			Kind:   e.Kind.String(),
+			Detail: e.Detail,
+			A1:     e.Arg1,
+			A2:     e.Arg2,
+		}
+		if err := enc.Encode(le); err != nil {
+			return nil, err
+		}
+	}
+	return b.Bytes(), nil
+}

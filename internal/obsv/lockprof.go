@@ -1,0 +1,90 @@
+package obsv
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"amplify/internal/sim"
+)
+
+// LockStats aggregates one mutex's contention over a run.
+type LockStats struct {
+	Name       string `json:"name"`
+	Acquires   int64  `json:"acquires"`
+	Contended  int64  `json:"contended"`
+	Handoffs   int64  `json:"handoffs"`
+	WaitCycles int64  `json:"wait_cycles"`
+	MaxWaiters int    `json:"max_waiters"`
+}
+
+// LockProfile reduces an event stream to per-lock contention stats: a
+// wait interval is the span from a thread's contended acquire to its
+// eventual acquire of the same lock, and the waiter depth is how many
+// threads were inside such an interval at once. This is computed
+// entirely from the trace — the simulated mutex carries no extra state.
+func LockProfile(events []sim.Event) []LockStats {
+	type waitKey struct {
+		thread int
+		lock   string
+	}
+	stats := map[string]*LockStats{}
+	get := func(name string) *LockStats {
+		s := stats[name]
+		if s == nil {
+			s = &LockStats{Name: name}
+			stats[name] = s
+		}
+		return s
+	}
+	waitStart := map[waitKey]int64{}
+	waiters := map[string]int{}
+
+	for _, e := range events {
+		switch e.Kind {
+		case sim.EvLockContended:
+			s := get(e.Detail)
+			s.Contended++
+			waitStart[waitKey{e.Thread, e.Detail}] = e.Time
+			waiters[e.Detail]++
+			if waiters[e.Detail] > s.MaxWaiters {
+				s.MaxWaiters = waiters[e.Detail]
+			}
+		case sim.EvLockAcquire:
+			s := get(e.Detail)
+			s.Acquires++
+			k := waitKey{e.Thread, e.Detail}
+			if t0, ok := waitStart[k]; ok {
+				s.WaitCycles += e.Time - t0
+				delete(waitStart, k)
+				waiters[e.Detail]--
+			}
+		case sim.EvLockHandoff:
+			get(e.Detail).Handoffs++
+		}
+	}
+
+	out := make([]LockStats, 0, len(stats))
+	for _, s := range stats {
+		out = append(out, *s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].WaitCycles != out[j].WaitCycles {
+			return out[i].WaitCycles > out[j].WaitCycles
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// FormatLockProfile renders the stats as an aligned text table.
+func FormatLockProfile(stats []LockStats) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-32s %10s %10s %10s %12s %8s\n",
+		"lock", "acquires", "contended", "handoffs", "wait-cycles", "max-wait")
+	for _, s := range stats {
+		fmt.Fprintf(&b, "%-32s %10d %10d %10d %12d %8d\n",
+			s.Name, s.Acquires, s.Contended, s.Handoffs, s.WaitCycles, s.MaxWaiters)
+	}
+	return b.String()
+}

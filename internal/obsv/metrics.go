@@ -1,0 +1,66 @@
+package obsv
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Registry is a flat named-counter registry: the single place a run's
+// quantitative observations converge before export — simulator stats,
+// allocator counters, pool hit rates, VM op counts all become
+// "name: value" pairs here, and bench folds a snapshot into its
+// Report. Names are dot-separated paths ("sim.cache.misses",
+// "pool.Node.hits"); output is always sorted so snapshots of the same
+// run are byte-identical.
+type Registry struct {
+	vals map[string]int64
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{vals: map[string]int64{}}
+}
+
+// Add increments the named counter by v.
+func (r *Registry) Add(name string, v int64) {
+	r.vals[name] += v
+}
+
+// Set overwrites the named counter.
+func (r *Registry) Set(name string, v int64) {
+	r.vals[name] = v
+}
+
+// Get reads the named counter (zero if never written).
+func (r *Registry) Get(name string) int64 { return r.vals[name] }
+
+// Snapshot returns a sorted copy of the registry as an ordered map —
+// a plain map is enough because encoding/json sorts keys.
+func (r *Registry) Snapshot() map[string]int64 {
+	out := make(map[string]int64, len(r.vals))
+	for k, v := range r.vals {
+		out[k] = v
+	}
+	return out
+}
+
+// JSON serializes the registry with sorted keys.
+func (r *Registry) JSON() ([]byte, error) {
+	return json.Marshal(r.Snapshot())
+}
+
+// String renders "name value" lines in sorted order.
+func (r *Registry) String() string {
+	names := make([]string, 0, len(r.vals))
+	for k := range r.vals {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, k := range names {
+		fmt.Fprintf(&b, "%s %d\n", k, r.vals[k])
+	}
+	return b.String()
+}

@@ -1,0 +1,19 @@
+// Package obsv is the virtual-time observability layer: it turns the
+// simulator's event stream (sim.Tracer) and the VM's execution hooks
+// into artifacts a person or a tool can read — Chrome trace_event JSON
+// loadable in chrome://tracing or Perfetto, a compact JSONL stream for
+// programmatic diffing, pprof-style folded stacks attributing simulated
+// cycles to MiniCC functions, a per-lock contention profile, and a
+// snapshotable metrics registry.
+//
+// The paper's whole argument is diagnostic — BGw's slowdown was only
+// understood by attributing time to heap-lock serialization, and
+// Amplify's win is explained through free-list hits and shadow-pointer
+// reuse. This package makes the reproduction able to *show why* one
+// allocator beats another, not just state final makespans.
+//
+// Everything here runs post-simulation on the host: recording costs
+// one branch per event site when disabled, and exporters never touch
+// the simulated clock, so traced and untraced runs produce identical
+// makespans.
+package obsv

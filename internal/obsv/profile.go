@@ -1,0 +1,163 @@
+package obsv
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Profiler attributes simulated cycles to MiniCC functions through a
+// shadow call stack: the VM calls Enter at every function call and Exit
+// at every return, stamped with the virtual clock. Attribution is
+// exact — the interval between consecutive stamps is charged as self
+// time to the function on top of the stack — and optionally sampled:
+// with SamplePeriod > 0 each interval also contributes one sample per
+// period boundary it crosses, which is what a wall-clock profiler
+// interrupting every P cycles would have observed.
+//
+// The simulator's baton protocol runs one simulated thread at a time,
+// so the profiler needs no locking even though it is shared by every
+// thread.
+type Profiler struct {
+	// SamplePeriod, when positive, enables sampled counts alongside the
+	// exact attribution: Folded then reports samples, not cycles.
+	SamplePeriod int64
+
+	root    *pnode
+	threads map[int]*threadProf
+}
+
+// pnode is one node of the calling-context tree.
+type pnode struct {
+	name     string
+	parent   *pnode
+	children map[string]*pnode
+	self     int64 // cycles attributed exactly
+	samples  int64 // period crossings (SamplePeriod mode)
+}
+
+// threadProf is one simulated thread's shadow stack.
+type threadProf struct {
+	stack []*pnode
+	stamp int64 // virtual time of the last attribution
+}
+
+// NewProfiler creates an empty profiler.
+func NewProfiler() *Profiler {
+	return &Profiler{
+		root:    &pnode{name: "", children: map[string]*pnode{}},
+		threads: map[int]*threadProf{},
+	}
+}
+
+func (p *Profiler) thread(id int) *threadProf {
+	tp := p.threads[id]
+	if tp == nil {
+		tp = &threadProf{}
+		p.threads[id] = tp
+	}
+	return tp
+}
+
+// charge attributes the interval since tp's last stamp to the function
+// on top of its stack.
+func (p *Profiler) charge(tp *threadProf, now int64) {
+	if n := len(tp.stack); n > 0 {
+		top := tp.stack[n-1]
+		top.self += now - tp.stamp
+		if p.SamplePeriod > 0 {
+			top.samples += now/p.SamplePeriod - tp.stamp/p.SamplePeriod
+		}
+	}
+	tp.stamp = now
+}
+
+// Enter pushes fn onto thread's shadow stack at virtual time now.
+func (p *Profiler) Enter(thread int, fn string, now int64) {
+	tp := p.thread(thread)
+	p.charge(tp, now)
+	parent := p.root
+	if n := len(tp.stack); n > 0 {
+		parent = tp.stack[n-1]
+	}
+	child := parent.children[fn]
+	if child == nil {
+		child = &pnode{name: fn, parent: parent, children: map[string]*pnode{}}
+		parent.children[fn] = child
+	}
+	tp.stack = append(tp.stack, child)
+}
+
+// Exit pops thread's shadow stack at virtual time now.
+func (p *Profiler) Exit(thread int, now int64) {
+	tp := p.thread(thread)
+	p.charge(tp, now)
+	if n := len(tp.stack); n > 0 {
+		tp.stack = tp.stack[:n-1]
+	}
+}
+
+// Finish charges each thread's still-open frames up to the given end
+// time (threads that ended inside a function, or main frames never
+// exited). Call once after the simulation completes.
+func (p *Profiler) Finish(end int64) {
+	ids := make([]int, 0, len(p.threads))
+	for id := range p.threads {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		tp := p.threads[id]
+		p.charge(tp, end)
+		tp.stack = tp.stack[:0]
+	}
+}
+
+// TotalAttributed reports the cycles charged to named functions.
+func (p *Profiler) TotalAttributed() int64 {
+	var total int64
+	var walk func(n *pnode)
+	walk = func(n *pnode) {
+		total += n.self
+		for _, c := range n.children {
+			walk(c)
+		}
+	}
+	walk(p.root)
+	return total
+}
+
+// Folded renders the calling-context tree in the folded-stacks format
+// flamegraph.pl and pprof understand: one "a;b;c N" line per stack,
+// sorted, where N is exact self cycles (or samples when SamplePeriod
+// is set). Zero-valued stacks are omitted.
+func (p *Profiler) Folded() string {
+	var lines []string
+	var walk func(n *pnode, prefix string)
+	walk = func(n *pnode, prefix string) {
+		path := prefix
+		if n != p.root {
+			if path != "" {
+				path += ";"
+			}
+			path += n.name
+			v := n.self
+			if p.SamplePeriod > 0 {
+				v = n.samples
+			}
+			if v > 0 {
+				lines = append(lines, fmt.Sprintf("%s %d", path, v))
+			}
+		}
+		names := make([]string, 0, len(n.children))
+		for name := range n.children {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			walk(n.children[name], path)
+		}
+	}
+	walk(p.root, "")
+	return strings.Join(lines, "\n") + "\n"
+}

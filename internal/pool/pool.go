@@ -188,6 +188,7 @@ func (p *ClassPool) Alloc(c *sim.Ctx) (ref mem.Ref, reused bool) {
 		if s.lock != nil {
 			s.lock.Unlock(c)
 		}
+		c.Trace(sim.EvPoolHit, p.class, p.size, int64(ref))
 		return ref, true
 	}
 	if s.lock != nil {
@@ -197,11 +198,13 @@ func (p *ClassPool) Alloc(c *sim.Ctx) (ref mem.Ref, reused bool) {
 		if ref, ok := p.steal(c, s); ok {
 			p.Hits++
 			p.Steals++
+			c.Trace(sim.EvPoolHit, p.class, p.size, int64(ref))
 			return ref, true
 		}
 	}
 	p.Misses++
 	ref = p.rt.under.Alloc(c, p.size)
+	c.Trace(sim.EvPoolMiss, p.class, p.size, int64(ref))
 	return ref, false
 }
 
@@ -294,11 +297,13 @@ func (r *Runtime) ShadowRealloc(c *sim.Ctx, shadowRef mem.Ref, shadowSize, want 
 		}
 		if want <= shadowSize && want >= lower {
 			r.ShadowReuses++
+			c.Trace(sim.EvShadowReuse, "", want, shadowSize)
 			return shadowRef, shadowSize
 		}
 		r.under.Free(c, shadowRef)
 	}
 	r.ShadowMisses++
+	c.Trace(sim.EvShadowMiss, "", want, shadowSize)
 	ref := r.under.Alloc(c, want)
 	return ref, r.under.UsableSize(ref)
 }

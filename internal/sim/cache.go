@@ -27,7 +27,10 @@ type Cache struct {
 
 	Hits   int64
 	Misses int64
-	RFOs   int64
+	// Invalidations counts misses on lines the processor had cached
+	// but another processor's write invalidated (a subset of Misses).
+	Invalidations int64
+	RFOs          int64
 }
 
 type lineState struct {
@@ -89,11 +92,21 @@ func (c *Cache) accessLine(t *Thread, cpu int, line uint64, write bool) {
 		cycles = c.cost.CacheMiss
 		c.Misses++
 		t.CacheMisses++
+		if sok {
+			// The processor had this line and the version moved on.
+			// A write from this CPU would have refreshed the seen
+			// entry, and a migration flush clears it, so a stale entry
+			// means another CPU's write invalidated the line.
+			c.Invalidations++
+			t.CacheInvalidations++
+			t.e.traceArgs(t, EvCacheInval, "", int64(line), 0)
+		}
 	}
 	if write {
 		if st.writer != int32(cpu) && st.version != 0 {
 			cycles += c.cost.CacheRFO
 			c.RFOs++
+			t.e.traceArgs(t, EvCacheRFO, "", int64(line), 0)
 		}
 		st.version++
 		st.writer = int32(cpu)

@@ -27,12 +27,14 @@ type chanWaiter struct {
 }
 
 // NewChannel creates a channel with the given buffer capacity (minimum
-// 1).
+// 1), registered on the engine so Stats folds its counters.
 func (e *Engine) NewChannel(name string, capacity int) *Channel {
 	if capacity < 1 {
 		capacity = 1
 	}
-	return &Channel{e: e, name: name, cap: capacity}
+	ch := &Channel{e: e, name: name, cap: capacity}
+	e.channels = append(e.channels, ch)
+	return ch
 }
 
 // wake makes w runnable at the caller's time plus the handoff latency.
@@ -51,6 +53,7 @@ func (ch *Channel) Send(c *Ctx, v any) {
 	if len(ch.buf) < ch.cap {
 		ch.buf = append(ch.buf, v)
 		ch.Sends++
+		ch.e.traceArgs(t, EvChanSend, ch.name, int64(len(ch.buf)), 0)
 		if len(ch.recvQ) > 0 {
 			w := ch.recvQ[0]
 			ch.recvQ = ch.recvQ[1:]
@@ -61,11 +64,13 @@ func (ch *Channel) Send(c *Ctx, v any) {
 	}
 	// Full: park the value with the sender.
 	ch.BlockedSends++
+	ch.e.traceArgs(t, EvChanBlocked, ch.name, 0, 0)
 	ch.sendQ = append(ch.sendQ, chanWaiter{t: t, v: v})
 	t.state = stateBlocked
 	t.e.running--
 	t.yield()
 	ch.Sends++
+	ch.e.traceArgs(t, EvChanSend, ch.name, int64(len(ch.buf)), 0)
 }
 
 // Recv dequeues a value, blocking while the channel is empty. It
@@ -78,6 +83,7 @@ func (ch *Channel) Recv(c *Ctx) (v any, ok bool) {
 			v = ch.buf[0]
 			ch.buf = ch.buf[1:]
 			ch.Recvs++
+			ch.e.traceArgs(t, EvChanRecv, ch.name, int64(len(ch.buf)), 0)
 			// A parked sender can now deliver into the freed slot.
 			if len(ch.sendQ) > 0 {
 				w := ch.sendQ[0]
@@ -93,6 +99,7 @@ func (ch *Channel) Recv(c *Ctx) (v any, ok bool) {
 			return nil, false
 		}
 		ch.BlockedRecvs++
+		ch.e.traceArgs(t, EvChanBlocked, ch.name, 1, 0)
 		ch.recvQ = append(ch.recvQ, t)
 		t.state = stateBlocked
 		t.e.running--

@@ -22,8 +22,14 @@ type Config struct {
 	// not change results beyond cache-batching noise.
 	Exact bool
 	// Tracer, when non-nil, receives simulation events (thread
-	// lifecycle, lock traffic, migrations).
+	// lifecycle, lock traffic, allocator and pool activity, cache
+	// coherence, channel/waitgroup operations, migrations).
 	Tracer Tracer
+	// TraceMask selects which event kinds reach the tracer; zero means
+	// all kinds. Filtering happens before the Event is built, so a
+	// recorder interested only in lock traffic pays nothing for the
+	// (much noisier) cache events.
+	TraceMask Mask
 	// linearScan selects the pre-heap reference scheduler: a linear
 	// scan over all threads per event and no lease self-renewal. It
 	// exists so tests can verify the heap scheduler is behaviorally
@@ -67,20 +73,30 @@ type Engine struct {
 	threadPanic      any
 	threadPanicStack []byte
 	tracer           Tracer
+	traceMask        Mask
 
 	// Mutexes registers every mutex created on this engine so that Run
 	// can report per-lock statistics and deadlocks can be diagnosed.
 	mutexes []*Mutex
+	// channels and waitgroups register every synchronization object so
+	// Stats can fold their counters into the engine aggregate.
+	channels   []*Channel
+	waitgroups []*WaitGroup
 }
 
 // New returns an engine for the given configuration.
 func New(cfg Config) *Engine {
 	cfg = cfg.withDefaults()
+	mask := cfg.TraceMask
+	if mask == 0 {
+		mask = AllEvents
+	}
 	e := &Engine{
-		cfg:     cfg,
-		cost:    cfg.Cost,
-		yieldCh: make(chan struct{}),
-		tracer:  cfg.Tracer,
+		cfg:       cfg,
+		cost:      cfg.Cost,
+		yieldCh:   make(chan struct{}),
+		tracer:    cfg.Tracer,
+		traceMask: mask,
 	}
 	e.cache = newCache(cfg.Processors, cfg.LineSize, &e.cost)
 	return e
@@ -239,23 +255,46 @@ type Stats struct {
 	LockWaitTime  int64
 	CacheHits     int64
 	CacheMisses   int64
-	CacheRFOs     int64
-	Migrations    int64
+	// CacheInvalidations counts the subset of misses on lines the
+	// processor had cached but another processor's write invalidated —
+	// the coherence traffic, as opposed to cold misses.
+	CacheInvalidations int64
+	CacheRFOs          int64
+	Migrations         int64
+	// Channel aggregates across every channel created on the engine.
+	ChanSends        int64
+	ChanRecvs        int64
+	ChanBlockedSends int64
+	ChanBlockedRecvs int64
+	// WaitGroup aggregates across every waitgroup on the engine.
+	WaitGroupWaits int64
+	WaitGroupDones int64
 }
 
 // Stats returns aggregate statistics across all threads.
 func (e *Engine) Stats() Stats {
 	st := Stats{
-		Makespan:    e.Makespan(),
-		CacheHits:   e.cache.Hits,
-		CacheMisses: e.cache.Misses,
-		CacheRFOs:   e.cache.RFOs,
+		Makespan:           e.Makespan(),
+		CacheHits:          e.cache.Hits,
+		CacheMisses:        e.cache.Misses,
+		CacheInvalidations: e.cache.Invalidations,
+		CacheRFOs:          e.cache.RFOs,
 	}
 	for _, t := range e.threads {
 		st.LockAcquires += t.LockAcquires
 		st.LockContended += t.LockContended
 		st.LockWaitTime += t.LockWaitTime
 		st.Migrations += t.Migrations
+	}
+	for _, ch := range e.channels {
+		st.ChanSends += ch.Sends
+		st.ChanRecvs += ch.Recvs
+		st.ChanBlockedSends += ch.BlockedSends
+		st.ChanBlockedRecvs += ch.BlockedRecvs
+	}
+	for _, wg := range e.waitgroups {
+		st.WaitGroupWaits += wg.Waits
+		st.WaitGroupDones += wg.Dones
 	}
 	return st
 }

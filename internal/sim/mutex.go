@@ -119,6 +119,7 @@ func (m *Mutex) Unlock(c *Ctx) {
 	copy(m.waiters, m.waiters[1:])
 	m.waiters = m.waiters[:len(m.waiters)-1]
 	m.owner = w
+	m.e.traceArgs(t, EvLockHandoff, m.name, int64(w.slot), int64(len(m.waiters)))
 	m.e.wake(t, w, m.e.cost.LockHandoff)
 	t.maybeYield()
 }

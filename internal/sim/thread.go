@@ -48,7 +48,10 @@ type Thread struct {
 	LockWaitTime  int64 // virtual cycles spent waiting for mutexes
 	CacheHits     int64
 	CacheMisses   int64
-	Migrations    int64
+	// CacheInvalidations counts misses on lines this thread's processor
+	// had cached but another processor's write invalidated.
+	CacheInvalidations int64
+	Migrations         int64
 }
 
 // Name reports the thread's name.
@@ -126,6 +129,7 @@ func (t *Thread) maybeYield() {
 			return
 		}
 	}
+	e.trace(t, EvPreempt, "")
 	e.enqueue(t)
 	t.yield()
 }

@@ -6,11 +6,18 @@ type WaitGroup struct {
 	e       *Engine
 	count   int
 	waiters []*Thread
+
+	// Waits counts Wait calls that had to block; Dones counts Done
+	// calls. Both are folded into Engine.Stats.
+	Waits int64
+	Dones int64
 }
 
-// NewWaitGroup creates a WaitGroup on the engine.
+// NewWaitGroup creates a WaitGroup registered on the engine.
 func (e *Engine) NewWaitGroup() *WaitGroup {
-	return &WaitGroup{e: e}
+	wg := &WaitGroup{e: e}
+	e.waitgroups = append(e.waitgroups, wg)
+	return wg
 }
 
 // Add increments the counter by n. It may be called from outside the
@@ -26,9 +33,11 @@ func (wg *WaitGroup) Add(n int) {
 // at the caller's current time.
 func (wg *WaitGroup) Done(c *Ctx) {
 	wg.count--
+	wg.Dones++
 	if wg.count < 0 {
 		panic("sim: negative WaitGroup counter")
 	}
+	c.t.e.traceArgs(c.t, EvWaitGroupDone, "", int64(wg.count), 0)
 	if wg.count > 0 {
 		return
 	}
@@ -45,6 +54,8 @@ func (wg *WaitGroup) Wait(c *Ctx) {
 		return
 	}
 	t := c.t
+	wg.Waits++
+	t.e.trace(t, EvWaitGroupWait, "")
 	wg.waiters = append(wg.waiters, t)
 	t.state = stateBlocked
 	t.e.running--

@@ -24,10 +24,27 @@ type Config struct {
 	Pool       pool.Config
 	MaxSteps   int64
 	Tracer     sim.Tracer
+	// TraceMask restricts which event kinds reach the tracer (zero
+	// means all).
+	TraceMask sim.Mask
+	// Profiler receives function enter/exit hooks. Setting it disables
+	// bulk work batching so virtual timestamps are exact at call
+	// boundaries.
+	Profiler Profiler
 	// NoOpt makes RunSource compile without the peephole pass (see
 	// Options.NoOpt). Programs compiled with Compile/CompileOpts carry
 	// their own setting and ignore this field.
 	NoOpt bool
+}
+
+// Profiler observes function activations in virtual time. The VM calls
+// Enter on every call and Exit on every return, stamped with the
+// simulated clock; obsv.Profiler implements it (the interface lives
+// here so the VM does not depend on the exporter package). A nil
+// profiler costs one branch per call.
+type Profiler interface {
+	Enter(thread int, fn string, now int64)
+	Exit(thread int, now int64)
 }
 
 func (c Config) withDefaults() Config {
@@ -54,6 +71,19 @@ type Result struct {
 	PoolMisses   int64
 	ShadowReuses int64
 	Footprint    int64
+	// Pools breaks the pool counters down per class.
+	Pools []PoolStat
+}
+
+// PoolStat is one class pool's counters.
+type PoolStat struct {
+	Class    string `json:"class"`
+	Size     int64  `json:"size"`
+	Hits     int64  `json:"hits"`
+	Misses   int64  `json:"misses"`
+	Released int64  `json:"released"`
+	Steals   int64  `json:"steals"`
+	Retained int    `json:"retained"`
 }
 
 // RunSource parses, analyzes, compiles and runs a MiniCC program.
@@ -79,7 +109,7 @@ func Run(p *Program, cfg Config) (res Result, err error) {
 	if !ok {
 		return res, fmt.Errorf("vm: program has no main function")
 	}
-	e := sim.New(sim.Config{Processors: cfg.Processors, Tracer: cfg.Tracer})
+	e := sim.New(sim.Config{Processors: cfg.Processors, Tracer: cfg.Tracer, TraceMask: cfg.TraceMask})
 	sp := mem.NewSpace()
 	under, err := alloc.New(cfg.Strategy, e, sp, alloc.Options{})
 	if err != nil {
@@ -104,8 +134,10 @@ func Run(p *Program, cfg Config) (res Result, err error) {
 		// stores, allocator calls). Threaded programs charge per unit —
 		// under oversubscription Ctx.Work dilates each charge with an
 		// integer division, so batching would perturb makespans. A
-		// tracer also forces per-unit charging to keep event timestamps.
-		bulk: !p.Src.UsesThreads && cfg.Tracer == nil,
+		// tracer or profiler also forces per-unit charging to keep
+		// event and call-boundary timestamps exact.
+		bulk: !p.Src.UsesThreads && cfg.Tracer == nil && cfg.Profiler == nil,
+		prof: cfg.Profiler,
 	}
 	e.Go("main", func(c *sim.Ctx) {
 		ret := m.exec(c, p.Fns[mainID], mem.Nil, nil)
@@ -131,6 +163,15 @@ func Run(p *Program, cfg Config) (res Result, err error) {
 	for _, pl := range m.rt.Pools() {
 		res.PoolHits += pl.Hits
 		res.PoolMisses += pl.Misses
+		res.Pools = append(res.Pools, PoolStat{
+			Class:    pl.Class(),
+			Size:     pl.Size(),
+			Hits:     pl.Hits,
+			Misses:   pl.Misses,
+			Released: pl.Released,
+			Steals:   pl.Steals,
+			Retained: pl.FreeCount(),
+		})
 	}
 	return res, nil
 }
@@ -241,6 +282,7 @@ type machine struct {
 	// yet flushed to the simulator.
 	bulk     bool
 	pending  int64
+	prof     Profiler
 	out      strings.Builder
 	exitCode int64
 	// curFn/curPC track the executing site for fault messages.
@@ -358,6 +400,9 @@ func (m *machine) flushWork(c *sim.Ctx) {
 func (m *machine) exec(c *sim.Ctx, fn *Fn, this mem.Ref, args []value) value {
 	prevFn, prevPC := m.curFn, m.curPC
 	m.curFn = fn
+	if m.prof != nil {
+		m.prof.Enter(c.ThreadID(), fn.Name, c.Now())
+	}
 	slots := m.getFrame(fn.Slots)
 	copy(slots, args)
 	stack := m.getStack()
@@ -542,6 +587,7 @@ loop:
 			s.state = stFreed
 			m.flushWork(c)
 			m.alloc.Free(c, v.ref)
+			c.Trace(sim.EvFree, "buffer", int64(v.ref), 0)
 		case OpRet:
 			ret = stack[len(stack)-1]
 			stack = stack[:len(stack)-1]
@@ -655,6 +701,9 @@ loop:
 	}
 	m.putFrame(slots)
 	m.putStack(stack)
+	if m.prof != nil {
+		m.prof.Exit(c.ThreadID(), c.Now())
+	}
 	m.curFn, m.curPC = prevFn, prevPC
 	return ret
 }
@@ -760,6 +809,7 @@ func (m *machine) doNew(c *sim.Ctx, ci *classInfo, placement value, args []value
 	} else {
 		ref = m.alloc.Alloc(c, ci.decl.Size)
 		m.h.ensure(ref).setObject(ci)
+		c.Trace(sim.EvAlloc, ci.decl.Name, ci.decl.Size, int64(ref))
 	}
 	m.runCtor(c, ci, ref, args)
 	return rv(ref)
@@ -782,6 +832,7 @@ func (m *machine) doDelete(c *sim.Ctx, v value) {
 	}
 	s.state = stFreed
 	m.alloc.Free(c, v.ref)
+	c.Trace(sim.EvFree, s.class.decl.Name, int64(v.ref), 0)
 }
 
 func (m *machine) newBuffer(c *sim.Ctx, elemSize int32, n int64) value {
@@ -795,6 +846,7 @@ func (m *machine) newBuffer(c *sim.Ctx, elemSize int32, n int64) value {
 	}
 	ref := m.alloc.Alloc(c, size)
 	m.h.ensure(ref).setBuffer(elemSize, n, m.alloc.UsableSize(ref))
+	c.Trace(sim.EvAlloc, "buffer", size, int64(ref))
 	return rv(ref)
 }
 

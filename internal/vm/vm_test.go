@@ -1,6 +1,7 @@
 package vm
 
 import (
+	"reflect"
 	"sort"
 	"strings"
 	"testing"
@@ -273,7 +274,7 @@ func TestCrossEngineDifferential(t *testing.T) {
 			if err != nil {
 				t.Fatalf("seed %d %s: vm -no-opt: %v", seed, name, err)
 			}
-			if vRes != nRes {
+			if !reflect.DeepEqual(vRes, nRes) {
 				t.Fatalf("seed %d %s: optimizer changed simulated results\n-O:      %+v\n-no-opt: %+v",
 					seed, name, vRes, nRes)
 			}

@@ -75,6 +75,11 @@ type TreeConfig struct {
 	KeepPoolLocks bool
 	// Exact disables the simulator's lease optimization.
 	Exact bool
+	// Tracer receives simulation events (nil disables tracing at the
+	// cost of one branch per event site); TraceMask restricts the kinds
+	// delivered (zero means all).
+	Tracer    sim.Tracer
+	TraceMask sim.Mask
 }
 
 func (cfg TreeConfig) withDefaults() TreeConfig {
@@ -123,7 +128,7 @@ func Strategies() []string {
 // and returns its measurements.
 func RunTree(strategy string, cfg TreeConfig) (Result, error) {
 	cfg = cfg.withDefaults()
-	e := sim.New(sim.Config{Processors: cfg.Processors, Exact: cfg.Exact})
+	e := sim.New(sim.Config{Processors: cfg.Processors, Exact: cfg.Exact, Tracer: cfg.Tracer, TraceMask: cfg.TraceMask})
 	sp := mem.NewSpace()
 
 	res := Result{Strategy: strategy, Config: cfg}
@@ -247,6 +252,7 @@ func plainWorker(c *sim.Ctx, a alloc.Allocator, cfg TreeConfig, trees int) {
 		// Allocate and initialize every node: operator new per object.
 		for i := 0; i < n; i++ {
 			refs[i] = a.Alloc(c, PlainNodeSize)
+			c.Trace(sim.EvAlloc, "Node", PlainNodeSize, int64(refs[i]))
 		}
 		initTree(c, refs, PlainNodeSize, cfg.InitWork)
 		useTree(c, refs, PlainNodeSize, cfg.UseWork)
@@ -255,6 +261,7 @@ func plainWorker(c *sim.Ctx, a alloc.Allocator, cfg TreeConfig, trees int) {
 		for i := n - 1; i >= 0; i-- {
 			c.Read(uint64(refs[i])+offLeft, 8)
 			a.Free(c, refs[i])
+			c.Trace(sim.EvFree, "Node", int64(refs[i]), 0)
 		}
 	}
 }
