@@ -122,6 +122,144 @@ func TestCLIEndToEnd(t *testing.T) {
 	}
 }
 
+// TestCLIHeapArtifacts covers the heap-introspection flags: mccrun
+// writes a timeline and a site profile, refuses them on the ast
+// engine, and a failed export exits non-zero without swallowing the
+// program's output.
+func TestCLIHeapArtifacts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bin := buildTools(t)
+	srcPath := filepath.Join(t.TempDir(), "prog.mcc")
+	if err := os.WriteFile(srcPath, []byte(cliProgram), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	tlPath := filepath.Join(dir, "timeline.jsonl")
+	csvPath := filepath.Join(dir, "timeline.csv")
+	hpPath := filepath.Join(dir, "sites.txt")
+
+	out, err := exec.Command(filepath.Join(bin, "mccrun"), "-amplify",
+		"-heap-timeline", tlPath, "-heap-interval", "5000",
+		"-heap-profile", hpPath, srcPath).CombinedOutput()
+	if err != nil {
+		t.Fatalf("mccrun heap flags: %v\n%s", err, out)
+	}
+	tl, err := os.ReadFile(tlPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(strings.TrimSpace(string(tl)), "\n") {
+		if !json.Valid([]byte(line)) {
+			t.Fatalf("timeline line not JSON: %s", line)
+		}
+	}
+	if !strings.Contains(string(tl), `"pool_hits"`) {
+		t.Error("timeline missing pool counters")
+	}
+	hp, err := os.ReadFile(hpPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(hp), "(Node)") {
+		t.Errorf("site profile missing Node sites:\n%s", hp)
+	}
+	if _, err := os.Stat(hpPath + ".sites"); err != nil {
+		t.Errorf("per-site table not written: %v", err)
+	}
+
+	// CSV variant picks the format from the extension.
+	if out, err := exec.Command(filepath.Join(bin, "mccrun"),
+		"-heap-timeline", csvPath, srcPath).CombinedOutput(); err != nil {
+		t.Fatalf("mccrun csv timeline: %v\n%s", err, out)
+	}
+	if csv, _ := os.ReadFile(csvPath); !strings.HasPrefix(string(csv), "now,footprint") {
+		t.Errorf("csv timeline header wrong: %.60s", csv)
+	}
+
+	// The ast engine has no observer hooks.
+	if out, err := exec.Command(filepath.Join(bin, "mccrun"), "-engine", "ast",
+		"-heap-timeline", tlPath, srcPath).CombinedOutput(); err == nil {
+		t.Errorf("ast engine accepted -heap-timeline:\n%s", out)
+	}
+
+	// A failed export must exit non-zero and still deliver the
+	// program's stdout (the exit-code satellite fix).
+	cmd := exec.Command(filepath.Join(bin, "mccrun"),
+		"-heap-timeline", filepath.Join(dir, "no-such-dir", "t.jsonl"), srcPath)
+	stdout, err := cmd.Output()
+	if err == nil {
+		t.Error("mccrun exited 0 on failed -heap-timeline write")
+	}
+	if string(stdout) != "done\n" {
+		t.Errorf("program output lost on export failure: %q", stdout)
+	}
+	cmd = exec.Command(filepath.Join(bin, "mccrun"),
+		"-trace-out", filepath.Join(dir, "no-such-dir", "t.json"), srcPath)
+	if stdout, err := cmd.Output(); err == nil {
+		t.Error("mccrun exited 0 on failed -trace-out write")
+	} else if string(stdout) != "done\n" {
+		t.Errorf("program output lost on trace failure: %q", stdout)
+	}
+}
+
+// TestCLICompare drives amplifybench -compare over seeded reports:
+// clean diff exits 0, regression exits 3, garbage exits 1.
+func TestCLICompare(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bin := buildTools(t)
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		t.Helper()
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	base := write("base.json", `{"schema":"amplify-bench/3",
+		"makespans":{"tree/a":1000,"tree/b":2000},
+		"heap":{"tree/a":{"footprint":4096,"peak_bytes":512,"int_frag_bp":100,"ext_frag_bp":0}}}`)
+	same := write("same.json", `{"schema":"amplify-bench/3",
+		"makespans":{"tree/a":1000,"tree/b":2000},
+		"heap":{"tree/a":{"footprint":4096,"peak_bytes":512,"int_frag_bp":100,"ext_frag_bp":0}}}`)
+	worse := write("worse.json", `{"schema":"amplify-bench/3",
+		"makespans":{"tree/a":1100,"tree/b":2000},
+		"heap":{"tree/a":{"footprint":4096,"peak_bytes":512,"int_frag_bp":100,"ext_frag_bp":0}}}`)
+
+	out, err := exec.Command(filepath.Join(bin, "amplifybench"), "-compare", base, same).CombinedOutput()
+	if err != nil {
+		t.Fatalf("identical reports: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "no regressions") {
+		t.Errorf("clean diff output:\n%s", out)
+	}
+
+	out, err = exec.Command(filepath.Join(bin, "amplifybench"), "-compare", base, worse).CombinedOutput()
+	exitErr, ok := err.(*exec.ExitError)
+	if !ok || exitErr.ExitCode() != 3 {
+		t.Fatalf("regression diff: err = %v (want exit 3)\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "makespan tree/a: 1000 -> 1100") {
+		t.Errorf("regression not named:\n%s", out)
+	}
+
+	// -threshold forgives the 10% drift.
+	if out, err := exec.Command(filepath.Join(bin, "amplifybench"),
+		"-compare", "-threshold", "15", base, worse).CombinedOutput(); err != nil {
+		t.Fatalf("threshold 15%%: %v\n%s", err, out)
+	}
+
+	garbage := write("garbage.json", "not json")
+	out, err = exec.Command(filepath.Join(bin, "amplifybench"), "-compare", base, garbage).CombinedOutput()
+	if exitErr, ok := err.(*exec.ExitError); !ok || exitErr.ExitCode() != 1 {
+		t.Fatalf("garbage report: err = %v (want exit 1)\n%s", err, out)
+	}
+}
+
 func TestCLIErrors(t *testing.T) {
 	if testing.Short() {
 		t.Skip("builds binaries")

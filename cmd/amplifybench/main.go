@@ -14,12 +14,22 @@
 //	              (default: the host's CPU count; output is identical
 //	              for every N — only wall-clock changes)
 //	-json         emit a machine-readable BENCH report (schema
-//	              amplify-bench/2) on stdout instead of text
+//	              amplify-bench/3) on stdout instead of text
 //	-trace-dir d  export observability artifacts into d: Chrome traces
 //	              of the tree workload under serial/ptmalloc/amplify, a
 //	              JSONL event stream, a per-lock contention profile,
 //	              folded stacks of the end-to-end MiniCC program, and a
 //	              metrics.json snapshot
+//	-heap-dir d   export heap-introspection artifacts into d:
+//	              virtual-time heap timelines (JSONL+CSV) of the tree
+//	              workload under serial/ptmalloc/amplify, allocation-site
+//	              folded stacks of the end-to-end program, and a
+//	              heap-summary.json of per-cell footprint/fragmentation
+//	-compare old new  diff two bench reports (no experiments are run);
+//	              exits 3 when a makespan, footprint or fragmentation
+//	              number regressed past -threshold
+//	-threshold p  allowed relative degradation for -compare, in percent
+//	              (fragmentation: percentage points); default 0 = exact
 //	-no-opt       disable the VM bytecode optimizer (default runs -O);
 //	              simulated results are identical either way — CI
 //	              enforces it — only host wall-clock changes
@@ -29,6 +39,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -40,8 +51,16 @@ import (
 	"amplify/internal/bench"
 )
 
+// errRegression marks a -compare run that found regressions; main
+// turns it into exit code 3 so CI can tell "bench regressed" apart
+// from "bench broke".
+var errRegression = errors.New("bench comparison found regressions")
+
 func main() {
 	if err := run(); err != nil {
+		if errors.Is(err, errRegression) {
+			os.Exit(3)
+		}
 		fmt.Fprintln(os.Stderr, "amplifybench:", err)
 		os.Exit(1)
 	}
@@ -56,9 +75,19 @@ func run() error {
 	jsonOut := flag.Bool("json", false, "emit machine-readable report on stdout")
 	noOpt := flag.Bool("no-opt", false, "disable the VM bytecode optimizer (identical simulated results, slower host)")
 	traceDir := flag.String("trace-dir", "", "export trace/profile/metrics artifacts into this directory")
+	heapDir := flag.String("heap-dir", "", "export heap timeline/site-profile/summary artifacts into this directory")
+	compare := flag.Bool("compare", false, "diff two bench reports: amplifybench -compare baseline.json current.json")
+	threshold := flag.Float64("threshold", 0, "with -compare: allowed degradation in percent (0 = exact)")
 	cpuprofile := flag.String("cpuprofile", "", "write CPU profile to file")
 	memprofile := flag.String("memprofile", "", "write heap profile to file")
 	flag.Parse()
+
+	if *compare {
+		if flag.NArg() != 2 {
+			return fmt.Errorf("-compare needs exactly two report files: baseline.json current.json")
+		}
+		return runCompare(flag.Arg(0), flag.Arg(1), *threshold)
+	}
 
 	names := append(bench.Names(), "endtoend")
 	if *list {
@@ -120,6 +149,13 @@ func run() error {
 		fmt.Fprintf(os.Stderr, "observability artifacts written to %s\n", *traceDir)
 	}
 
+	if *heapDir != "" {
+		if err := r.ExportHeap(*heapDir); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "heap artifacts written to %s\n", *heapDir)
+	}
+
 	if *memprofile != "" {
 		f, err := os.Create(*memprofile)
 		if err != nil {
@@ -130,6 +166,40 @@ func run() error {
 		if err := pprof.WriteHeapProfile(f); err != nil {
 			return err
 		}
+	}
+	return nil
+}
+
+// runCompare diffs two bench report files and prints the summary; a
+// regression surfaces as errRegression (exit 3), a malformed report as
+// an ordinary error (exit 1).
+func runCompare(baselinePath, currentPath string, threshold float64) error {
+	load := func(path string) (*bench.Report, error) {
+		b, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		var rep bench.Report
+		if err := json.Unmarshal(b, &rep); err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		return &rep, nil
+	}
+	baseline, err := load(baselinePath)
+	if err != nil {
+		return err
+	}
+	current, err := load(currentPath)
+	if err != nil {
+		return err
+	}
+	cmp, err := bench.Compare(baseline, current, threshold)
+	if err != nil {
+		return err
+	}
+	fmt.Print(cmp.Format())
+	if cmp.Regressed() {
+		return errRegression
 	}
 	return nil
 }

@@ -23,10 +23,19 @@
 //	-profile-out f write pprof-style folded stacks attributing simulated
 //	              cycles to MiniCC functions (vm engine only); the
 //	              per-lock contention profile goes to f.locks
+//	-heap-timeline f write a virtual-time heap timeline (vm engine only):
+//	              footprint, live/free bytes, fragmentation, pool
+//	              retention — JSONL by default, CSV when f ends in .csv
+//	-heap-interval n sampling period of -heap-timeline in cycles
+//	-heap-profile f write pprof-style folded stacks attributing allocated
+//	              bytes to MiniCC allocation sites (vm engine only); a
+//	              per-site table goes to f.sites
 //	-metrics f    write a JSON metrics snapshot of the run
 //
 // The program's print() output goes to stdout; the exit code is main's
-// return value.
+// return value. Observation never charges simulated work: every -trace/
+// -profile/-heap flag leaves the makespan and all other simulated
+// numbers unchanged.
 package main
 
 import (
@@ -35,9 +44,11 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"amplify/internal/alloc"
 	"amplify/internal/core"
+	"amplify/internal/heapobsv"
 	"amplify/internal/interp"
 	"amplify/internal/obsv"
 	"amplify/internal/sim"
@@ -58,6 +69,19 @@ type runResult struct {
 }
 
 func main() {
+	code, err := run()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mccrun:", err)
+		os.Exit(1)
+	}
+	os.Exit(code)
+}
+
+// run executes the program and writes every requested artifact. The
+// int is the simulated program's exit code; any error — including a
+// failed artifact write after a successful run — makes mccrun exit
+// non-zero instead of silently reporting the program's status.
+func run() (int, error) {
 	allocName := flag.String("alloc", "serial", "allocator: serial | ptmalloc | hoard | smartheap | lkmalloc")
 	engine := flag.String("engine", "vm", "execution engine: vm (compiled bytecode) | ast (tree-walking)")
 	procs := flag.Int("procs", 8, "simulated processors")
@@ -70,6 +94,9 @@ func main() {
 	traceOut := flag.String("trace-out", "", "write a Chrome trace_event JSON file of the run")
 	traceJSONL := flag.String("trace-jsonl", "", "write the simulation events as compact JSON lines")
 	profileOut := flag.String("profile-out", "", "write folded stacks of simulated cycles (vm engine only); per-lock profile goes to <file>.locks")
+	heapTimeline := flag.String("heap-timeline", "", "write a virtual-time heap timeline (vm engine only); JSONL, or CSV when the file ends in .csv")
+	heapInterval := flag.Int64("heap-interval", heapobsv.DefaultInterval, "heap-timeline sampling period in cycles")
+	heapProfile := flag.String("heap-profile", "", "write folded stacks of allocated bytes per MiniCC site (vm engine only); per-site table goes to <file>.sites")
 	metricsOut := flag.String("metrics", "", "write a JSON metrics snapshot of the run")
 	vetFirst := flag.Bool("vet", false, "lint the program before running; refuse to run on errors")
 	flag.Parse()
@@ -81,17 +108,17 @@ func main() {
 	}
 	src, err := readInput(flag.Arg(0))
 	if err != nil {
-		fatal(err)
+		return 0, err
 	}
 	if *vetFirst {
 		res, err := vet.CheckSource(src)
 		if err != nil {
-			fatal(err)
+			return 0, err
 		}
 		fmt.Fprint(os.Stderr, res.String())
 		if res.HasErrors() {
 			errs, _ := res.Counts()
-			fatal(fmt.Errorf("vet found %d errors; refusing to run", errs))
+			return 0, fmt.Errorf("vet found %d errors; refusing to run", errs)
 		}
 	}
 	if *amplify {
@@ -100,11 +127,20 @@ func main() {
 			Mode:       core.Mode(*mode),
 		})
 		if err != nil {
-			fatal(err)
+			return 0, err
 		}
 		src = transformed
 		if *stats {
 			fmt.Fprint(os.Stderr, rep.String())
+		}
+	}
+	for _, f := range []struct{ name, val string }{
+		{"-profile-out", *profileOut},
+		{"-heap-timeline", *heapTimeline},
+		{"-heap-profile", *heapProfile},
+	} {
+		if f.val != "" && *engine != "vm" {
+			return 0, fmt.Errorf("%s needs -engine vm (the ast engine has no observer hooks)", f.name)
 		}
 	}
 	needEvents := *traceOut != "" || *traceJSONL != "" || *profileOut != ""
@@ -116,10 +152,15 @@ func main() {
 	}
 	var prof *obsv.Profiler
 	if *profileOut != "" {
-		if *engine != "vm" {
-			fatal(fmt.Errorf("-profile-out needs -engine vm (the ast engine has no call hooks)"))
-		}
 		prof = obsv.NewProfiler()
+	}
+	var timeline *heapobsv.Timeline
+	if *heapTimeline != "" {
+		timeline = &heapobsv.Timeline{Interval: *heapInterval}
+	}
+	var sites *heapobsv.SiteProfile
+	if *heapProfile != "" {
+		sites = heapobsv.NewSiteProfile()
 	}
 	var res runResult
 	switch *engine {
@@ -130,7 +171,7 @@ func main() {
 		}
 		r, err := interp.RunSource(src, icfg)
 		if err != nil {
-			fatal(err)
+			return 0, err
 		}
 		res = runResult{r.Output, r.ExitCode, r.Makespan, r.Alloc,
 			r.PoolHits, r.PoolMisses, r.ShadowReuses, r.Sim, r.Footprint}
@@ -142,22 +183,36 @@ func main() {
 		if prof != nil {
 			vcfg.Profiler = prof
 		}
+		// Assign through the typed nil checks: a nil *Timeline stored in
+		// the interface field would defeat the engine's one-branch guard.
+		if timeline != nil {
+			vcfg.HeapObserver = timeline
+		}
+		if sites != nil {
+			vcfg.HeapProf = sites
+		}
 		r, err := vm.RunSource(src, vcfg)
 		if err != nil {
-			fatal(err)
+			return 0, err
 		}
 		res = runResult{r.Output, r.ExitCode, r.Makespan, r.Alloc,
 			r.PoolHits, r.PoolMisses, r.ShadowReuses, r.Sim, r.Footprint}
 	default:
-		fatal(fmt.Errorf("unknown engine %q (want vm or ast)", *engine))
+		return 0, fmt.Errorf("unknown engine %q (want vm or ast)", *engine)
 	}
 	if rec != nil && *trace > 0 {
 		fmt.Fprint(os.Stderr, rec.Timeline())
 	}
-	if err := writeArtifacts(rec, prof, res, *procs, *traceOut, *traceJSONL, *profileOut, *metricsOut); err != nil {
-		fatal(err)
+	// The program's output is printed before the artifacts are written,
+	// so a failed export never swallows it; a failed stdout write (full
+	// disk, closed pipe) is itself an error, not a silent exit 0.
+	if _, err := io.WriteString(os.Stdout, res.output); err != nil {
+		return 0, fmt.Errorf("writing program output: %w", err)
 	}
-	fmt.Print(res.output)
+	if err := writeArtifacts(rec, prof, timeline, sites, res, *procs,
+		*traceOut, *traceJSONL, *profileOut, *heapTimeline, *heapProfile, *metricsOut); err != nil {
+		return 0, err
+	}
 	if *stats {
 		fmt.Fprintf(os.Stderr, "execution statistics (%s engine)\n", *engine)
 		fmt.Fprintf(os.Stderr, "  makespan:        %d cycles\n", res.makespan)
@@ -168,12 +223,13 @@ func main() {
 		fmt.Fprintf(os.Stderr, "  cache misses:    %d (hits %d)\n", res.sim.CacheMisses, res.sim.CacheHits)
 		fmt.Fprintf(os.Stderr, "  footprint:       %d bytes\n", res.footprint)
 	}
-	os.Exit(int(res.exitCode))
+	return int(res.exitCode), nil
 }
 
 // writeArtifacts emits the requested observability files. Every JSON
 // artifact is checked with json.Valid before it reaches disk.
-func writeArtifacts(rec *sim.Recorder, prof *obsv.Profiler, res runResult, procs int, traceOut, traceJSONL, profileOut, metricsOut string) error {
+func writeArtifacts(rec *sim.Recorder, prof *obsv.Profiler, timeline *heapobsv.Timeline, sites *heapobsv.SiteProfile,
+	res runResult, procs int, traceOut, traceJSONL, profileOut, heapTimeline, heapProfile, metricsOut string) error {
 	var events []sim.Event
 	if rec != nil {
 		events = rec.Snapshot()
@@ -206,6 +262,25 @@ func writeArtifacts(rec *sim.Recorder, prof *obsv.Profiler, res runResult, procs
 		}
 		locks := obsv.FormatLockProfile(obsv.LockProfile(events))
 		if err := os.WriteFile(profileOut+".locks", []byte(locks), 0o644); err != nil {
+			return err
+		}
+	}
+	if heapTimeline != "" {
+		timeline.Finish(res.makespan)
+		out := timeline.JSONL()
+		if strings.HasSuffix(heapTimeline, ".csv") {
+			out = timeline.CSV()
+		}
+		if err := os.WriteFile(heapTimeline, out, 0o644); err != nil {
+			return err
+		}
+	}
+	if heapProfile != "" {
+		folded := sites.Folded(heapobsv.MetricAllocBytes)
+		if err := os.WriteFile(heapProfile, []byte(folded), 0o644); err != nil {
+			return err
+		}
+		if err := os.WriteFile(heapProfile+".sites", []byte(sites.Table()), 0o644); err != nil {
 			return err
 		}
 	}
@@ -248,9 +323,4 @@ func readInput(path string) (string, error) {
 	}
 	b, err := os.ReadFile(path)
 	return string(b), err
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "mccrun:", err)
-	os.Exit(1)
 }

@@ -37,16 +37,25 @@ type Stats struct {
 	LiveBlocks int64 // currently allocated blocks
 	LiveBytes  int64 // currently allocated (usable) bytes
 	PeakBytes  int64 // high-water mark of LiveBytes
+	ReqBytes   int64 // cumulative bytes callers requested
+	GrantBytes int64 // cumulative usable bytes the size classes granted
 }
 
-// Count records an allocation of n usable bytes.
-func (s *Stats) Count(n int64) {
+// Count records an allocation: req bytes asked for, n usable bytes
+// granted. The req/granted gap accumulates into the internal
+// fragmentation of the run.
+func (s *Stats) Count(req, n int64) {
 	s.Allocs++
 	s.LiveBlocks++
 	s.LiveBytes += n
 	if s.LiveBytes > s.PeakBytes {
 		s.PeakBytes = s.LiveBytes
 	}
+	if req < 1 {
+		req = 1
+	}
+	s.ReqBytes += req
+	s.GrantBytes += n
 }
 
 // Uncount records a free of n usable bytes.
@@ -64,6 +73,10 @@ type Options struct {
 	// Arenas overrides the arena/heap count for multi-heap allocators;
 	// zero means the strategy's default.
 	Arenas int
+	// Observer, when non-nil, receives an event per Alloc/Free in
+	// virtual time. Observation charges nothing: makespans are identical
+	// with or without it.
+	Observer Observer
 }
 
 // Factory builds an allocator on an engine and address space.

@@ -115,10 +115,14 @@ func (r *Runner) Speedup(strategy string, depth, threads int) (float64, error) {
 	return float64(base.Makespan) / float64(res.Makespan), nil
 }
 
+// bgwKey names a BGw memo cell.
+func bgwKey(strategy string, amplify, objects bool, threads int) string {
+	return fmt.Sprintf("bgw/%s/amplify%v/objects%v/threads%d", strategy, amplify, objects, threads)
+}
+
 // runBGw executes (or recalls) one BGw run.
 func (r *Runner) runBGw(strategy string, amplify, objects bool, threads int) (bgw.Result, error) {
-	key := fmt.Sprintf("bgw/%s/amplify%v/objects%v/threads%d", strategy, amplify, objects, threads)
-	v, err := r.cells.do(key, func() (any, error) {
+	v, err := r.cells.do(bgwKey(strategy, amplify, objects, threads), func() (any, error) {
 		return bgw.Run(bgw.Config{
 			CDRs:       r.CDRs,
 			Threads:    threads,

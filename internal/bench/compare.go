@@ -1,0 +1,173 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Comparison is the result of diffing two bench reports (a committed
+// baseline vs a fresh run). It separates hard regressions — which
+// should fail CI — from improvements and informational notes.
+//
+// What is compared, and how:
+//
+//   - Makespans are simulated virtual time and fully deterministic, so
+//     any increase past the threshold is a regression and any decrease
+//     is an improvement. With threshold 0 (the CI setting) the check
+//     degenerates to exact equality.
+//   - Heap footprint and peak live bytes are deterministic too; lower
+//     is better, same threshold.
+//   - Fragmentation is in basis points and often near zero, so a
+//     relative threshold would be degenerate; the percent threshold is
+//     reinterpreted as percentage points (threshold×100 bp of slack).
+//   - Host-measured numbers (wall_seconds, engine_speedup) are never
+//     compared — they are noise by construction.
+//
+// Cells present in only one report are tolerated: a quick run diffed
+// against a full baseline compares just the overlap, and brand-new
+// cells cannot regress anything. Both are counted and noted, so a
+// silently shrinking overlap is still visible.
+type Comparison struct {
+	Threshold    float64  // percent (and frag percentage points)
+	Common       int      // cells compared
+	OnlyOld      int      // baseline cells absent from the new report
+	OnlyNew      int      // new cells absent from the baseline
+	Regressions  []string // threshold-exceeding degradations
+	Improvements []string
+	Notes        []string // sub-threshold drifts, coverage, schema skew
+}
+
+// Regressed reports whether the diff should fail the build.
+func (c *Comparison) Regressed() bool { return len(c.Regressions) > 0 }
+
+// Format renders the comparison as a human-readable diff summary.
+func (c *Comparison) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "bench compare: %d cells compared (%d baseline-only, %d new), threshold %g%%\n",
+		c.Common, c.OnlyOld, c.OnlyNew, c.Threshold)
+	section := func(title string, lines []string) {
+		if len(lines) == 0 {
+			return
+		}
+		fmt.Fprintf(&b, "\n%s (%d):\n", title, len(lines))
+		for _, l := range lines {
+			fmt.Fprintf(&b, "  %s\n", l)
+		}
+	}
+	section("REGRESSIONS", c.Regressions)
+	section("improvements", c.Improvements)
+	section("notes", c.Notes)
+	if !c.Regressed() {
+		b.WriteString("\nno regressions\n")
+	}
+	return b.String()
+}
+
+// Compare diffs a fresh report against a baseline. thresholdPct is the
+// allowed relative degradation in percent (0 = exact). Schema skew is
+// tolerated down to amplify-bench/1 — older baselines simply lack the
+// heap section — but a report from an unrelated tool is an error, not
+// an empty diff that would pass CI vacuously.
+func Compare(baseline, current *Report, thresholdPct float64) (*Comparison, error) {
+	for _, r := range []*Report{baseline, current} {
+		if !strings.HasPrefix(r.Schema, "amplify-bench/") {
+			return nil, fmt.Errorf("bench: unknown report schema %q", r.Schema)
+		}
+	}
+	if thresholdPct < 0 {
+		return nil, fmt.Errorf("bench: negative threshold %g", thresholdPct)
+	}
+	c := &Comparison{Threshold: thresholdPct}
+	if baseline.Schema != current.Schema {
+		c.Notes = append(c.Notes, fmt.Sprintf("schema skew: baseline %s, current %s",
+			baseline.Schema, current.Schema))
+	}
+
+	for _, key := range sortedCellKeys(baseline.Makespans, current.Makespans) {
+		om, inOld := baseline.Makespans[key]
+		nm, inNew := current.Makespans[key]
+		switch {
+		case !inNew:
+			c.OnlyOld++
+			continue
+		case !inOld:
+			c.OnlyNew++
+			continue
+		}
+		c.Common++
+		c.compareValue("makespan", key, om, nm, false)
+		ob, oldHas := baseline.Heap[key]
+		nb, newHas := current.Heap[key]
+		if !oldHas || !newHas {
+			continue // v1/v2 baseline, or cell predates heap capture
+		}
+		c.compareValue("footprint", key, ob.Footprint, nb.Footprint, false)
+		c.compareValue("peak_bytes", key, ob.PeakBytes, nb.PeakBytes, false)
+		c.compareValue("int_frag_bp", key, ob.IntFragBP, nb.IntFragBP, true)
+		c.compareValue("ext_frag_bp", key, ob.ExtFragBP, nb.ExtFragBP, true)
+	}
+	if c.Common == 0 {
+		c.Regressions = append(c.Regressions,
+			"no overlapping cells: the baseline and the report measure disjoint runs")
+	}
+	return c, nil
+}
+
+// compareValue classifies one metric's old→new movement. Lower is
+// better for every compared metric. absoluteBP switches from the
+// relative percent threshold to an absolute basis-point slack
+// (threshold×100), for metrics whose baseline is legitimately zero.
+func (c *Comparison) compareValue(metric, key string, old, new int64, absoluteBP bool) {
+	if old == new {
+		return
+	}
+	delta := fmt.Sprintf("%+.2f%%", relPct(old, new))
+	if absoluteBP {
+		delta = fmt.Sprintf("%+dbp", new-old)
+	}
+	line := fmt.Sprintf("%s %s: %d -> %d (%s)", metric, key, old, new, delta)
+	if new < old {
+		c.Improvements = append(c.Improvements, line)
+		return
+	}
+	over := false
+	if absoluteBP {
+		over = float64(new-old) > c.Threshold*100
+	} else if old == 0 {
+		over = true // anything from a zero baseline exceeds any relative bar
+	} else {
+		over = relPct(old, new) > c.Threshold
+	}
+	if over {
+		c.Regressions = append(c.Regressions, line)
+	} else {
+		c.Notes = append(c.Notes, "within threshold: "+line)
+	}
+}
+
+// relPct is the relative change from old to new in percent.
+func relPct(old, new int64) float64 {
+	if old == 0 {
+		return 0
+	}
+	return 100 * float64(new-old) / float64(old)
+}
+
+// sortedCellKeys merges the key sets of both makespan maps in sorted
+// order, so comparison output is deterministic.
+func sortedCellKeys(a, b map[string]int64) []string {
+	seen := make(map[string]bool, len(a)+len(b))
+	keys := make([]string, 0, len(a)+len(b))
+	for k := range a {
+		seen[k] = true
+		keys = append(keys, k)
+	}
+	for k := range b {
+		if !seen[k] {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -100,6 +100,11 @@ type e2eCell struct {
 type e2eResult struct {
 	Makespan int64
 	Allocs   int64
+	// Heap numbers for the report's heap map (schema v3).
+	Footprint int64
+	PeakBytes int64
+	IntFragBP int64
+	ExtFragBP int64
 }
 
 // e2ePerThread returns the trees-per-thread base count for the
@@ -122,6 +127,11 @@ func (r *Runner) endToEndCells() []e2eCell {
 	return cells
 }
 
+// e2eKey names an end-to-end memo cell.
+func e2eKey(cell e2eCell) string {
+	return fmt.Sprintf("e2e/%s/threads%d", cell.row.name, cell.threads)
+}
+
 // runEndToEndCell pre-processes (for the amplified row) and executes
 // one MiniCC program on the bytecode VM, memoized. On the quick sizes
 // the tree-walking interpreter re-runs the same program as a
@@ -129,8 +139,7 @@ func (r *Runner) endToEndCells() []e2eCell {
 // layers, so heap behavior must agree exactly and virtual time to
 // within the engines' instruction-accounting difference.
 func (r *Runner) runEndToEndCell(cell e2eCell) (e2eResult, error) {
-	key := fmt.Sprintf("e2e/%s/threads%d", cell.row.name, cell.threads)
-	v, err := r.cells.do(key, func() (any, error) {
+	v, err := r.cells.do(e2eKey(cell), func() (any, error) {
 		// Fixed total work split across threads, as in the speedup
 		// experiments: 8*perThread trees overall.
 		src := treeSource(cell.threads, r.e2ePerThread()*8/cell.threads, e2eDepth)
@@ -153,7 +162,14 @@ func (r *Runner) runEndToEndCell(cell e2eCell) (e2eResult, error) {
 				return nil, err
 			}
 		}
-		return e2eResult{Makespan: res.Makespan, Allocs: res.Alloc.Allocs}, nil
+		return e2eResult{
+			Makespan:  res.Makespan,
+			Allocs:    res.Alloc.Allocs,
+			Footprint: res.Footprint,
+			PeakBytes: res.Alloc.PeakBytes,
+			IntFragBP: fragBP(res.Heap.ReqBytes, res.Heap.GrantedBytes),
+			ExtFragBP: fragBP(res.Heap.LargestFree, res.Heap.FreeBytes),
+		}, nil
 	})
 	if err != nil {
 		return e2eResult{}, err

@@ -5,15 +5,17 @@ import (
 	"strings"
 	"time"
 
+	"amplify/internal/alloc"
 	"amplify/internal/bgw"
 	"amplify/internal/workload"
 )
 
 // ReportSchema identifies the BENCH.json layout; bump on incompatible
 // changes so trajectory tooling can dispatch on it. Version 2 added
-// the unified metrics registry snapshot (Metrics); the simulated
-// makespans are unchanged from version 1.
-const ReportSchema = "amplify-bench/2"
+// the unified metrics registry snapshot (Metrics); version 3 adds the
+// per-cell heap map (Heap) and per-experiment heap headlines; the
+// simulated makespans are unchanged from version 1.
+const ReportSchema = "amplify-bench/3"
 
 // Report is the machine-readable record of one amplifybench
 // invocation: what ran, how long the host took, and every simulated
@@ -37,6 +39,30 @@ type Report struct {
 	// cell the experiments computed (see Runner.Metrics). Deterministic
 	// for a given experiment set, like Makespans.
 	Metrics map[string]int64 `json:"metrics"`
+	// Heap maps every memoized cell to its memory-consumption numbers:
+	// final footprint, peak live bytes, and the allocator's internal/
+	// external fragmentation in basis points. Integer-only and
+	// deterministic, like Makespans — -compare diffs these too.
+	Heap map[string]HeapCell `json:"heap,omitempty"`
+}
+
+// HeapCell is one simulation's memory-consumption record.
+type HeapCell struct {
+	Footprint int64 `json:"footprint"`
+	PeakBytes int64 `json:"peak_bytes"`
+	IntFragBP int64 `json:"int_frag_bp"`
+	ExtFragBP int64 `json:"ext_frag_bp"`
+}
+
+// HeapHeadline condenses one experiment's memory consumption: the
+// peak and mean final footprint over its cells, and the worst
+// fragmentation seen (basis points). MeanFootprint uses integer
+// division so reports stay bit-stable across hosts.
+type HeapHeadline struct {
+	PeakFootprint  int64 `json:"peak_footprint"`
+	MeanFootprint  int64 `json:"mean_footprint"`
+	WorstIntFragBP int64 `json:"worst_int_frag_bp"`
+	WorstExtFragBP int64 `json:"worst_ext_frag_bp"`
 }
 
 // ExperimentReport records one experiment: host wall-clock spent
@@ -52,6 +78,9 @@ type ExperimentReport struct {
 	// VM with its bytecode optimizer off vs on — host-side, so excluded
 	// from determinism checks, which diff only Makespans.
 	EngineSpeedup float64 `json:"engine_speedup,omitempty"`
+	// Heap summarizes the memory consumption of the cells this
+	// experiment reads (schema v3).
+	Heap *HeapHeadline `json:"heap,omitempty"`
 }
 
 // SeriesReport is one plotted line of a figure.
@@ -107,7 +136,46 @@ func (r *Runner) Report(names []string) (*Report, error) {
 	}
 	rep.Makespans = r.Makespans()
 	rep.Metrics = r.Metrics()
+	rep.Heap = r.HeapCells()
+	// Headlines need the full heap map, so they are stamped after the
+	// experiment loop: each experiment summarizes the cells it reads.
+	for i := range rep.Experiments {
+		rep.Experiments[i].Heap = heapHeadlineOf(r.cellKeys(rep.Experiments[i].Name), rep.Heap)
+	}
 	return rep, nil
+}
+
+// heapHeadlineOf condenses the named cells' heap records, or nil when
+// none of the keys carry heap data.
+func heapHeadlineOf(keys []string, cells map[string]HeapCell) *HeapHeadline {
+	var h *HeapHeadline
+	var sum, n int64
+	seen := make(map[string]bool, len(keys))
+	for _, k := range keys {
+		c, ok := cells[k]
+		if !ok || seen[k] {
+			continue
+		}
+		seen[k] = true
+		if h == nil {
+			h = &HeapHeadline{}
+		}
+		if c.Footprint > h.PeakFootprint {
+			h.PeakFootprint = c.Footprint
+		}
+		if c.IntFragBP > h.WorstIntFragBP {
+			h.WorstIntFragBP = c.IntFragBP
+		}
+		if c.ExtFragBP > h.WorstExtFragBP {
+			h.WorstExtFragBP = c.ExtFragBP
+		}
+		sum += c.Footprint
+		n++
+	}
+	if h != nil {
+		h.MeanFootprint = sum / n
+	}
+	return h
 }
 
 // headlineOf picks the figure's best speedup across all series.
@@ -121,6 +189,43 @@ func headlineOf(f *Figure) *Headline {
 		}
 	}
 	return h
+}
+
+// HeapCells extracts the memory-consumption record of every completed
+// memo cell, keyed like Makespans.
+func (r *Runner) HeapCells() map[string]HeapCell {
+	m := make(map[string]HeapCell)
+	r.cells.completed(func(key string, val any) {
+		switch v := val.(type) {
+		case workload.Result:
+			m[key] = heapCellOf(v.Footprint, v.Alloc.PeakBytes, v.Heap)
+		case bgw.Result:
+			m[key] = heapCellOf(v.Footprint, v.Alloc.PeakBytes, v.Heap)
+		case bgw.PipelineResult:
+			m[key] = heapCellOf(v.Footprint, v.Alloc.PeakBytes, v.Heap)
+		case e2eResult:
+			m[key] = HeapCell{Footprint: v.Footprint, PeakBytes: v.PeakBytes,
+				IntFragBP: v.IntFragBP, ExtFragBP: v.ExtFragBP}
+		}
+	})
+	return m
+}
+
+func heapCellOf(footprint, peak int64, hi alloc.HeapInfo) HeapCell {
+	return HeapCell{
+		Footprint: footprint,
+		PeakBytes: peak,
+		IntFragBP: fragBP(hi.ReqBytes, hi.GrantedBytes),
+		ExtFragBP: fragBP(hi.LargestFree, hi.FreeBytes),
+	}
+}
+
+// fragBP is (1 - part/whole) in basis points; zero when whole is zero.
+func fragBP(part, whole int64) int64 {
+	if whole == 0 {
+		return 0
+	}
+	return 10000 - part*10000/whole
 }
 
 // Makespans extracts the simulated makespan of every completed memo

@@ -77,9 +77,15 @@ func (r *Runner) Memory() (string, error) {
 	return b.String(), nil
 }
 
+// Fixed keys of the two limiter memo cells.
+const (
+	cappedTreeKey   = "tree-capped/amplify/depth3/threads8/max1"
+	shadowCapBGwKey = "bgw-shadowcap/smartheap/threads4/cap64"
+)
+
 // runCappedTree executes (or recalls) the MaxObjects=1 limiter run.
 func (r *Runner) runCappedTree() (workload.Result, error) {
-	v, err := r.cells.do("tree-capped/amplify/depth3/threads8/max1", func() (any, error) {
+	v, err := r.cells.do(cappedTreeKey, func() (any, error) {
 		return workload.RunTree("amplify", workload.TreeConfig{
 			Depth: 3, Trees: r.Trees, Threads: 8,
 			InitWork: InitWork, UseWork: UseWork,
@@ -95,7 +101,7 @@ func (r *Runner) runCappedTree() (workload.Result, error) {
 // runShadowCappedBGw executes (or recalls) the MaxShadowBytes=64
 // limiter run.
 func (r *Runner) runShadowCappedBGw() (bgw.Result, error) {
-	v, err := r.cells.do("bgw-shadowcap/smartheap/threads4/cap64", func() (any, error) {
+	v, err := r.cells.do(shadowCapBGwKey, func() (any, error) {
 		return bgw.Run(bgw.Config{
 			CDRs: r.CDRs, Threads: 4, Strategy: "smartheap", Amplify: true,
 			Pool: pool.Config{MaxShadowBytes: 64},

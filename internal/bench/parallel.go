@@ -124,29 +124,49 @@ func (r *Runner) parallelDo(tasks []func() error) error {
 func (r *Runner) Precompute(names []string) error {
 	var tasks []func() error
 	for _, name := range names {
-		tasks = append(tasks, r.cellTasks(name)...)
+		for _, s := range r.cellSpecs(name) {
+			tasks = append(tasks, s.run)
+		}
 	}
 	return r.parallelDo(tasks)
 }
 
-// cellTasks enumerates the expensive cells of one experiment, as
+// cellSpec names one expensive memo cell of an experiment and carries
+// the idempotent closure that computes it.
+type cellSpec struct {
+	key string
+	run func() error
+}
+
+// cellKeys enumerates the memo keys of one experiment's cells (for the
+// report's per-experiment heap headlines).
+func (r *Runner) cellKeys(name string) []string {
+	specs := r.cellSpecs(name)
+	keys := make([]string, len(specs))
+	for i, s := range specs {
+		keys[i] = s.key
+	}
+	return keys
+}
+
+// cellSpecs enumerates the expensive cells of one experiment, as
 // idempotent closures against the memo. The enumeration only needs to
 // be a superset-free *warm-up list*, not an exact contract: a missing
 // cell costs sequential time during assembly, never a different
 // result.
-func (r *Runner) cellTasks(name string) []func() error {
-	var tasks []func() error
+func (r *Runner) cellSpecs(name string) []cellSpec {
+	var tasks []cellSpec
 	tree := func(strategy string, depth, threads, procs int) {
-		tasks = append(tasks, func() error {
+		tasks = append(tasks, cellSpec{treeKey(strategy, depth, threads, procs), func() error {
 			_, err := r.runAt(strategy, depth, threads, procs)
 			return err
-		})
+		}})
 	}
 	bgwCell := func(strategy string, amplify, objects bool, threads int) {
-		tasks = append(tasks, func() error {
+		tasks = append(tasks, cellSpec{bgwKey(strategy, amplify, objects, threads), func() error {
 			_, err := r.runBGw(strategy, amplify, objects, threads)
 			return err
-		})
+		}})
 	}
 	speedupCells := func(testCase int, strategies []string, grid []int) {
 		depth := depthOfCase(testCase)
@@ -188,22 +208,22 @@ func (r *Runner) cellTasks(name string) []func() error {
 				tree(s, depth, 8, 0)
 			}
 		}
-		tasks = append(tasks, func() error {
+		tasks = append(tasks, cellSpec{cappedTreeKey, func() error {
 			_, err := r.runCappedTree()
 			return err
-		})
+		}})
 		bgwCell("smartheap", true, false, 4)
-		tasks = append(tasks, func() error {
+		tasks = append(tasks, cellSpec{shadowCapBGwKey, func() error {
 			_, err := r.runShadowCappedBGw()
 			return err
-		})
+		}})
 	case "pipeline":
 		for _, v := range pipelineVariants() {
 			for _, w := range pipelineWorkerGrid {
-				tasks = append(tasks, func() error {
+				tasks = append(tasks, cellSpec{pipeKey(w, v.amplify, v.steal), func() error {
 					_, err := r.runPipeline(w, v.amplify, v.steal)
 					return err
-				})
+				}})
 			}
 		}
 	case "sensitivity":
@@ -215,10 +235,10 @@ func (r *Runner) cellTasks(name string) []func() error {
 		}
 	case "endtoend":
 		for _, c := range r.endToEndCells() {
-			tasks = append(tasks, func() error {
+			tasks = append(tasks, cellSpec{e2eKey(c), func() error {
 				_, err := r.runEndToEndCell(c)
 				return err
-			})
+			}})
 		}
 	}
 	return tasks

@@ -24,12 +24,16 @@ func pipelineVariants() []pipelineVariant {
 
 var pipelineWorkerGrid = []int{1, 2, 4, 7}
 
+// pipeKey names a pipeline-BGw memo cell.
+func pipeKey(workers int, amplify, steal bool) string {
+	return fmt.Sprintf("pipe/smartheap/amplify%v/steal%v/workers%d", amplify, steal, workers)
+}
+
 // runPipeline executes (or recalls) one pipeline-BGw run. The pool
 // configuration is fixed (MaxObjects 64) and only read by the
 // amplified variants.
 func (r *Runner) runPipeline(workers int, amplify, steal bool) (bgw.PipelineResult, error) {
-	key := fmt.Sprintf("pipe/smartheap/amplify%v/steal%v/workers%d", amplify, steal, workers)
-	v, err := r.cells.do(key, func() (any, error) {
+	v, err := r.cells.do(pipeKey(workers, amplify, steal), func() (any, error) {
 		return bgw.RunPipeline(bgw.PipelineConfig{
 			CDRs: r.CDRs, Workers: workers, Strategy: "smartheap",
 			Amplify: amplify, Steal: steal,

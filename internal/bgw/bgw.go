@@ -64,6 +64,10 @@ type Config struct {
 	ProcessWork int64
 	// Pool configures the Amplify runtime.
 	Pool pool.Config
+	// HeapObserver receives allocator and pool events (heap timelines,
+	// fragmentation sampling); alloc.Watcher/WatchPools implementations
+	// are attached before the run. Host-side only.
+	HeapObserver alloc.Observer
 }
 
 func (cfg Config) withDefaults() Config {
@@ -103,6 +107,8 @@ type Result struct {
 	ShadowReuses int64
 	PoolHits     int64
 	Footprint    int64
+	// Heap is the underlying allocator's post-run introspection snapshot.
+	Heap alloc.HeapInfo
 }
 
 // cdr describes one generated call data record. Sizes vary from record
@@ -136,7 +142,7 @@ func Run(cfg Config) (Result, error) {
 	sp := mem.NewSpace()
 	res := Result{Config: cfg}
 
-	base, err := alloc.New(cfg.Strategy, e, sp, alloc.Options{Threads: cfg.Threads})
+	base, err := alloc.New(cfg.Strategy, e, sp, alloc.Options{Threads: cfg.Threads, Observer: cfg.HeapObserver})
 	if err != nil {
 		return res, err
 	}
@@ -145,12 +151,23 @@ func Run(cfg Config) (Result, error) {
 	var recPool *pool.ClassPool
 	if cfg.Amplify {
 		pcfg := cfg.Pool
+		pcfg.Observer = cfg.HeapObserver
 		if cfg.Threads == 1 {
 			pcfg.SingleThreaded = true
 		}
 		rt = pool.NewRuntime(e, base, pcfg)
 		if cfg.ObjectsToo {
 			recPool = rt.NewClassPool("CDRRecord", AmpRecordSize)
+		}
+	}
+	if o := cfg.HeapObserver; o != nil {
+		if w, ok := o.(alloc.Watcher); ok {
+			w.Watch(sp, base)
+		}
+		if rt != nil {
+			if w, ok := o.(interface{ WatchPools(*pool.Runtime) }); ok {
+				w.WatchPools(rt)
+			}
 		}
 	}
 
@@ -186,6 +203,9 @@ func Run(cfg Config) (Result, error) {
 		res.PoolHits = recPool.Hits
 	}
 	res.Footprint = sp.Footprint()
+	if insp, ok := base.(alloc.Inspector); ok {
+		res.Heap = insp.Inspect()
+	}
 	return res, nil
 }
 

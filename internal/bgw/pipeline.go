@@ -70,6 +70,8 @@ type PipelineResult struct {
 	// served from shadow memory.
 	ShadowReuses int64
 	Footprint    int64
+	// Heap is the underlying allocator's post-run introspection snapshot.
+	Heap alloc.HeapInfo
 }
 
 // record is a parsed CDR travelling from the parser to a processor.
@@ -130,6 +132,9 @@ func RunPipeline(cfg PipelineConfig) (PipelineResult, error) {
 		res.PoolSteals = recPool.Steals
 	}
 	res.Footprint = sp.Footprint()
+	if insp, ok := base.(alloc.Inspector); ok {
+		res.Heap = insp.Inspect()
+	}
 	return res, nil
 }
 

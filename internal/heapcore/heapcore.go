@@ -59,6 +59,48 @@ type Heap struct {
 
 	Allocs, Frees int64
 	CarvedBytes   int64
+	// Cumulative introspection counters: bytes requested by callers,
+	// usable bytes the size classes granted, and usable bytes returned
+	// via Free. GrantedBytes-FreedBytes is the live usable footprint.
+	ReqBytes, GrantedBytes, FreedBytes int64
+	// wildernessHW is the largest wilderness reserve (topEnd-top) the
+	// heap ever held, recorded right after each growth.
+	wildernessHW int64
+}
+
+// Info is a point-in-time snapshot of the heap's internal state; all
+// byte counts are usable bytes.
+type Info struct {
+	LiveBlocks, LiveBytes              int64
+	FreeBytes, FreeBlocks, LargestFree int64
+	WildernessFree, WildernessHW       int64
+	ReqBytes, GrantedBytes             int64
+}
+
+// Inspect walks the bins and reports the heap's current state. It is
+// host-side only: no simulated work is charged, so observers may call
+// it mid-run without perturbing the schedule.
+func (h *Heap) Inspect() Info {
+	info := Info{
+		LiveBlocks:   h.Allocs - h.Frees,
+		LiveBytes:    h.GrantedBytes - h.FreedBytes,
+		WildernessHW: h.wildernessHW,
+		ReqBytes:     h.ReqBytes,
+		GrantedBytes: h.GrantedBytes,
+	}
+	if h.top != mem.Nil {
+		info.WildernessFree = int64(h.topEnd - h.top)
+	}
+	for b, bin := range h.bins {
+		n := int64(len(bin))
+		if n == 0 {
+			continue
+		}
+		info.FreeBlocks += n
+		info.FreeBytes += n * h.classes[b]
+		info.LargestFree = h.classes[b] // classes ascend: last wins
+	}
+	return info
 }
 
 // Config parameterizes a heap core.
@@ -144,6 +186,11 @@ func (h *Heap) Alloc(c *sim.Ctx, size int64) mem.Ref {
 	h.Allocs++
 	c.Work(h.pathOps)
 	bin, usable := h.classFor(size)
+	if size < 1 {
+		size = 1
+	}
+	h.ReqBytes += size
+	h.GrantedBytes += usable
 	if bin < 0 {
 		// Huge allocation: straight from the space.
 		ref := h.space.Sbrk(c, usable+headerSize) + headerSize
@@ -186,6 +233,9 @@ func (h *Heap) carve(c *sim.Ctx, usable int64) mem.Ref {
 		h.top = h.space.Sbrk(c, grow)
 		h.topEnd = h.top + mem.Ref((grow+mem.PageSize-1)/mem.PageSize*mem.PageSize)
 		h.CarvedBytes += grow
+		if hw := int64(h.topEnd - h.top); hw > h.wildernessHW {
+			h.wildernessHW = hw
+		}
 	}
 	ref := h.top + headerSize
 	h.top += mem.Ref(stride)
@@ -204,6 +254,7 @@ func (h *Heap) Free(c *sim.Ctx, ref mem.Ref) {
 		panic(fmt.Sprintf("heapcore: Free of unknown block %#x", uint64(ref)))
 	}
 	c.Read(uint64(ref)-headerSize, headerSize) // read header for size
+	h.FreedBytes += usable
 	bin, _ := h.classFor(usable)
 	if bin < 0 {
 		// Huge blocks are abandoned to the space (real dlmalloc would

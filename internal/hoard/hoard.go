@@ -56,6 +56,7 @@ type Allocator struct {
 	sbOf  map[mem.Ref]*superblock
 	huge  map[mem.Ref]int64
 	stats alloc.Stats
+	obs   alloc.Observer
 }
 
 // New creates a Hoard-style allocator with one heap per processor plus
@@ -91,7 +92,9 @@ func New(e *sim.Engine, sp *mem.Space, heaps int) *Allocator {
 
 func init() {
 	alloc.Register("hoard", func(e *sim.Engine, sp *mem.Space, opt alloc.Options) alloc.Allocator {
-		return New(e, sp, opt.Arenas)
+		a := New(e, sp, opt.Arenas)
+		a.obs = opt.Observer
+		return a
 	})
 }
 
@@ -136,7 +139,10 @@ func (a *Allocator) Alloc(c *sim.Ctx, size int64) mem.Ref {
 		usable := (size + 15) &^ 15
 		ref := a.sp.Sbrk(c, usable)
 		a.huge[ref] = usable
-		a.stats.Count(usable)
+		a.stats.Count(size, usable)
+		if a.obs != nil {
+			a.obs.Observe(c.Now(), alloc.ObsAlloc, usable)
+		}
 		return ref
 	}
 	hi := a.heapFor(c.ThreadID())
@@ -144,8 +150,11 @@ func (a *Allocator) Alloc(c *sim.Ctx, size int64) mem.Ref {
 	h.lock.Lock(c)
 	sb := a.takeSuperblock(c, h, hi, class)
 	ref := sb.pop(c)
-	a.stats.Count(sb.blockSize)
+	a.stats.Count(size, sb.blockSize)
 	h.lock.Unlock(c)
+	if a.obs != nil {
+		a.obs.Observe(c.Now(), alloc.ObsAlloc, sb.blockSize)
+	}
 	return ref
 }
 
@@ -200,6 +209,9 @@ func (a *Allocator) Free(c *sim.Ctx, ref mem.Ref) {
 	if usable, ok := a.huge[ref]; ok {
 		delete(a.huge, ref)
 		a.stats.Uncount(usable)
+		if a.obs != nil {
+			a.obs.Observe(c.Now(), alloc.ObsFree, usable)
+		}
 		return
 	}
 	sb, ok := a.sbOf[ref]
@@ -218,6 +230,9 @@ func (a *Allocator) Free(c *sim.Ctx, ref mem.Ref) {
 		a.release(c, h, sb)
 	}
 	h.lock.Unlock(c)
+	if a.obs != nil {
+		a.obs.Observe(c.Now(), alloc.ObsFree, sb.blockSize)
+	}
 }
 
 // release moves a fully-empty superblock from h to the global heap.
@@ -255,3 +270,38 @@ func (a *Allocator) Stats() alloc.Stats { return a.stats }
 
 // HeapOf exposes the heap index a thread maps to (for tests).
 func (a *Allocator) HeapOf(tid int) int { return a.heapFor(tid) }
+
+// Inspect implements alloc.Inspector. Each Hoard heap (global heap
+// included) becomes one ArenaInfo; free bytes are the unused blocks of
+// the heap's superblocks, and the largest free block is the biggest
+// class with a free block anywhere.
+func (a *Allocator) Inspect() alloc.HeapInfo {
+	hi := alloc.HeapInfo{
+		ReqBytes:     a.stats.ReqBytes,
+		GrantedBytes: a.stats.GrantBytes,
+	}
+	for idx, h := range a.heaps {
+		name := fmt.Sprintf("heap%d", idx)
+		if idx == 0 {
+			name = "global"
+		}
+		ai := alloc.ArenaInfo{Name: name}
+		for class, list := range h.sbs {
+			bs := a.classes[class]
+			for _, sb := range list {
+				free := int64(len(sb.free))
+				ai.FreeBlocks += free
+				ai.FreeBytes += free * bs
+				ai.LiveBlocks += int64(sb.used)
+				ai.LiveBytes += int64(sb.used) * bs
+				if free > 0 && bs > hi.LargestFree {
+					hi.LargestFree = bs
+				}
+			}
+		}
+		hi.FreeBlocks += ai.FreeBlocks
+		hi.FreeBytes += ai.FreeBytes
+		hi.Arenas = append(hi.Arenas, ai)
+	}
+	return hi
+}

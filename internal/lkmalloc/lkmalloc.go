@@ -34,6 +34,7 @@ type Allocator struct {
 	heaps []*heap
 	owner map[mem.Ref]int
 	stats alloc.Stats
+	obs   alloc.Observer
 }
 
 // New creates an LKmalloc-style allocator with one heap per processor
@@ -55,7 +56,9 @@ func New(e *sim.Engine, sp *mem.Space, heaps int) *Allocator {
 
 func init() {
 	alloc.Register("lkmalloc", func(e *sim.Engine, sp *mem.Space, opt alloc.Options) alloc.Allocator {
-		return New(e, sp, opt.Arenas)
+		a := New(e, sp, opt.Arenas)
+		a.obs = opt.Observer
+		return a
 	})
 }
 
@@ -76,8 +79,12 @@ func (a *Allocator) Alloc(c *sim.Ctx, size int64) mem.Ref {
 	h.lock.Lock(c)
 	ref := h.core.Alloc(c, size)
 	a.owner[ref] = id
-	a.stats.Count(h.core.UsableSize(ref))
+	n := h.core.UsableSize(ref)
+	a.stats.Count(size, n)
 	h.lock.Unlock(c)
+	if a.obs != nil {
+		a.obs.Observe(c.Now(), alloc.ObsAlloc, n)
+	}
 	return ref
 }
 
@@ -89,9 +96,13 @@ func (a *Allocator) Free(c *sim.Ctx, ref mem.Ref) {
 	}
 	h := a.heaps[id]
 	h.lock.Lock(c)
-	a.stats.Uncount(h.core.UsableSize(ref))
+	n := h.core.UsableSize(ref)
+	a.stats.Uncount(n)
 	h.core.Free(c, ref)
 	h.lock.Unlock(c)
+	if a.obs != nil {
+		a.obs.Observe(c.Now(), alloc.ObsFree, n)
+	}
 }
 
 // UsableSize implements alloc.Allocator.
@@ -105,3 +116,23 @@ func (a *Allocator) UsableSize(ref mem.Ref) int64 {
 
 // Stats implements alloc.Allocator.
 func (a *Allocator) Stats() alloc.Stats { return a.stats }
+
+// Inspect implements alloc.Inspector: the aggregate over the
+// per-processor heaps, each also reported as one ArenaInfo.
+func (a *Allocator) Inspect() alloc.HeapInfo {
+	var hi alloc.HeapInfo
+	for id, h := range a.heaps {
+		i := h.core.Inspect()
+		hi.Merge(alloc.HeapInfo{
+			FreeBytes: i.FreeBytes, FreeBlocks: i.FreeBlocks, LargestFree: i.LargestFree,
+			WildernessFree: i.WildernessFree, WildernessHW: i.WildernessHW,
+			ReqBytes: i.ReqBytes, GrantedBytes: i.GrantedBytes,
+		})
+		hi.Arenas = append(hi.Arenas, alloc.ArenaInfo{
+			Name:       fmt.Sprintf("heap%d", id),
+			LiveBlocks: i.LiveBlocks, LiveBytes: i.LiveBytes,
+			FreeBlocks: i.FreeBlocks, FreeBytes: i.FreeBytes,
+		})
+	}
+	return hi
+}

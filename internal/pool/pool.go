@@ -53,6 +53,10 @@ type Config struct {
 	// one thread allocates and another frees never reuse structures:
 	// they accumulate in the freeing thread's shard.
 	StealShards bool
+	// Observer, when non-nil, receives a pool event per hit, miss,
+	// steal, release, trim and shadow decision, in virtual time.
+	// Observation charges nothing and never changes a makespan.
+	Observer alloc.Observer
 }
 
 func (c Config) withDefaults(e *sim.Engine) Config {
@@ -189,6 +193,9 @@ func (p *ClassPool) Alloc(c *sim.Ctx) (ref mem.Ref, reused bool) {
 			s.lock.Unlock(c)
 		}
 		c.Trace(sim.EvPoolHit, p.class, p.size, int64(ref))
+		if o := p.rt.cfg.Observer; o != nil {
+			o.Observe(c.Now(), alloc.ObsPoolHit, p.size)
+		}
 		return ref, true
 	}
 	if s.lock != nil {
@@ -199,12 +206,18 @@ func (p *ClassPool) Alloc(c *sim.Ctx) (ref mem.Ref, reused bool) {
 			p.Hits++
 			p.Steals++
 			c.Trace(sim.EvPoolHit, p.class, p.size, int64(ref))
+			if o := p.rt.cfg.Observer; o != nil {
+				o.Observe(c.Now(), alloc.ObsPoolSteal, p.size)
+			}
 			return ref, true
 		}
 	}
 	p.Misses++
 	ref = p.rt.under.Alloc(c, p.size)
 	c.Trace(sim.EvPoolMiss, p.class, p.size, int64(ref))
+	if o := p.rt.cfg.Observer; o != nil {
+		o.Observe(c.Now(), alloc.ObsPoolMiss, p.size)
+	}
 	return ref, false
 }
 
@@ -258,6 +271,9 @@ func (p *ClassPool) Free(c *sim.Ctx, ref mem.Ref) bool {
 		}
 		p.Released++
 		p.rt.under.Free(c, ref)
+		if o := p.rt.cfg.Observer; o != nil {
+			o.Observe(c.Now(), alloc.ObsPoolRelease, p.size)
+		}
 		return false
 	}
 	c.Write(uint64(ref), 8)
@@ -276,6 +292,49 @@ func (p *ClassPool) FreeCount() int {
 		n += len(s.free)
 	}
 	return n
+}
+
+// Info is a point-in-time snapshot of one class pool: the free-list
+// depth per shard, the bytes the pool retains, and the hit/miss
+// counters from which the reuse hit rate follows.
+type Info struct {
+	Class         string  `json:"class"`
+	Size          int64   `json:"size"`
+	Retained      int64   `json:"retained"`
+	RetainedBytes int64   `json:"retained_bytes"`
+	ShardDepths   []int64 `json:"shard_depths"`
+	Hits          int64   `json:"hits"`
+	Misses        int64   `json:"misses"`
+	Steals        int64   `json:"steals"`
+	Released      int64   `json:"released"`
+}
+
+// HitRate is hits/(hits+misses), zero before the first allocation.
+func (i Info) HitRate() float64 {
+	if i.Hits+i.Misses == 0 {
+		return 0
+	}
+	return float64(i.Hits) / float64(i.Hits+i.Misses)
+}
+
+// Inspect snapshots every class pool. Host-side only: it charges no
+// simulated work, so observers may call it mid-run.
+func (r *Runtime) Inspect() []Info {
+	out := make([]Info, 0, len(r.pools))
+	for _, p := range r.pools {
+		pi := Info{
+			Class: p.class, Size: p.size,
+			Hits: p.Hits, Misses: p.Misses, Steals: p.Steals, Released: p.Released,
+		}
+		for _, s := range p.sh {
+			n := int64(len(s.free))
+			pi.ShardDepths = append(pi.ShardDepths, n)
+			pi.Retained += n
+		}
+		pi.RetainedBytes = pi.Retained * p.size
+		out = append(out, pi)
+	}
+	return out
 }
 
 // ShadowRealloc implements the BGw extension of §5.2: data-type arrays
@@ -298,12 +357,18 @@ func (r *Runtime) ShadowRealloc(c *sim.Ctx, shadowRef mem.Ref, shadowSize, want 
 		if want <= shadowSize && want >= lower {
 			r.ShadowReuses++
 			c.Trace(sim.EvShadowReuse, "", want, shadowSize)
+			if o := r.cfg.Observer; o != nil {
+				o.Observe(c.Now(), alloc.ObsShadowReuse, shadowSize)
+			}
 			return shadowRef, shadowSize
 		}
 		r.under.Free(c, shadowRef)
 	}
 	r.ShadowMisses++
 	c.Trace(sim.EvShadowMiss, "", want, shadowSize)
+	if o := r.cfg.Observer; o != nil {
+		o.Observe(c.Now(), alloc.ObsShadowMiss, want)
+	}
 	ref := r.under.Alloc(c, want)
 	return ref, r.under.UsableSize(ref)
 }

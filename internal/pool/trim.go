@@ -1,6 +1,7 @@
 package pool
 
 import (
+	"amplify/internal/alloc"
 	"amplify/internal/mem"
 	"amplify/internal/sim"
 )
@@ -38,6 +39,9 @@ func (p *ClassPool) Trim(c *sim.Ctx, keep int) []mem.Ref {
 	for _, ref := range released {
 		p.rt.under.Free(c, ref)
 		p.Released++
+	}
+	if o := p.rt.cfg.Observer; o != nil && len(released) > 0 {
+		o.Observe(c.Now(), alloc.ObsPoolTrim, int64(len(released))*p.size)
 	}
 	return released
 }

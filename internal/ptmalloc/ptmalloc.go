@@ -38,6 +38,7 @@ type Allocator struct {
 	// owner maps each live block to its arena.
 	owner map[mem.Ref]int
 	stats alloc.Stats
+	obs   alloc.Observer
 }
 
 // New creates a ptmalloc-style allocator with one initial arena.
@@ -59,6 +60,7 @@ func init() {
 		if opt.Arenas > 0 {
 			a.max = opt.Arenas
 		}
+		a.obs = opt.Observer
 		return a
 	})
 }
@@ -115,8 +117,12 @@ func (a *Allocator) Alloc(c *sim.Ctx, size int64) mem.Ref {
 	ar := a.arenas[id]
 	ref := ar.heap.Alloc(c, size)
 	a.owner[ref] = id
-	a.stats.Count(ar.heap.UsableSize(ref))
+	n := ar.heap.UsableSize(ref)
+	a.stats.Count(size, n)
 	ar.lock.Unlock(c)
+	if a.obs != nil {
+		a.obs.Observe(c.Now(), alloc.ObsAlloc, n)
+	}
 	return ref
 }
 
@@ -130,9 +136,13 @@ func (a *Allocator) Free(c *sim.Ctx, ref mem.Ref) {
 	}
 	ar := a.arenas[id]
 	ar.lock.Lock(c)
-	a.stats.Uncount(ar.heap.UsableSize(ref))
+	n := ar.heap.UsableSize(ref)
+	a.stats.Uncount(n)
 	ar.heap.Free(c, ref)
 	ar.lock.Unlock(c)
+	if a.obs != nil {
+		a.obs.Observe(c.Now(), alloc.ObsFree, n)
+	}
 }
 
 // UsableSize implements alloc.Allocator.
@@ -146,3 +156,23 @@ func (a *Allocator) UsableSize(ref mem.Ref) int64 {
 
 // Stats implements alloc.Allocator.
 func (a *Allocator) Stats() alloc.Stats { return a.stats }
+
+// Inspect implements alloc.Inspector: the aggregate over all arenas,
+// with per-arena occupancy in Arenas.
+func (a *Allocator) Inspect() alloc.HeapInfo {
+	var hi alloc.HeapInfo
+	for id, ar := range a.arenas {
+		i := ar.heap.Inspect()
+		hi.Merge(alloc.HeapInfo{
+			FreeBytes: i.FreeBytes, FreeBlocks: i.FreeBlocks, LargestFree: i.LargestFree,
+			WildernessFree: i.WildernessFree, WildernessHW: i.WildernessHW,
+			ReqBytes: i.ReqBytes, GrantedBytes: i.GrantedBytes,
+		})
+		hi.Arenas = append(hi.Arenas, alloc.ArenaInfo{
+			Name:       fmt.Sprintf("arena%d", id),
+			LiveBlocks: i.LiveBlocks, LiveBytes: i.LiveBytes,
+			FreeBlocks: i.FreeBlocks, FreeBytes: i.FreeBytes,
+		})
+	}
+	return hi
+}

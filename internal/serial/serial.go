@@ -23,6 +23,7 @@ type Allocator struct {
 	heap  *heapcore.Heap
 	lock  *sim.Mutex
 	stats alloc.Stats
+	obs   alloc.Observer
 }
 
 // New creates the baseline allocator.
@@ -35,8 +36,10 @@ func New(e *sim.Engine, sp *mem.Space) *Allocator {
 }
 
 func init() {
-	alloc.Register("serial", func(e *sim.Engine, sp *mem.Space, _ alloc.Options) alloc.Allocator {
-		return New(e, sp)
+	alloc.Register("serial", func(e *sim.Engine, sp *mem.Space, opt alloc.Options) alloc.Allocator {
+		a := New(e, sp)
+		a.obs = opt.Observer
+		return a
 	})
 }
 
@@ -47,17 +50,25 @@ func (a *Allocator) Name() string { return "serial" }
 func (a *Allocator) Alloc(c *sim.Ctx, size int64) mem.Ref {
 	a.lock.Lock(c)
 	ref := a.heap.Alloc(c, size)
-	a.stats.Count(a.heap.UsableSize(ref))
+	n := a.heap.UsableSize(ref)
+	a.stats.Count(size, n)
 	a.lock.Unlock(c)
+	if a.obs != nil {
+		a.obs.Observe(c.Now(), alloc.ObsAlloc, n)
+	}
 	return ref
 }
 
 // Free implements alloc.Allocator.
 func (a *Allocator) Free(c *sim.Ctx, ref mem.Ref) {
 	a.lock.Lock(c)
-	a.stats.Uncount(a.heap.UsableSize(ref))
+	n := a.heap.UsableSize(ref)
+	a.stats.Uncount(n)
 	a.heap.Free(c, ref)
 	a.lock.Unlock(c)
+	if a.obs != nil {
+		a.obs.Observe(c.Now(), alloc.ObsFree, n)
+	}
 }
 
 // UsableSize implements alloc.Allocator.
@@ -68,3 +79,13 @@ func (a *Allocator) Stats() alloc.Stats { return a.stats }
 
 // Lock exposes the global mutex for contention assertions in tests.
 func (a *Allocator) Lock() *sim.Mutex { return a.lock }
+
+// Inspect implements alloc.Inspector.
+func (a *Allocator) Inspect() alloc.HeapInfo {
+	i := a.heap.Inspect()
+	return alloc.HeapInfo{
+		FreeBytes: i.FreeBytes, FreeBlocks: i.FreeBlocks, LargestFree: i.LargestFree,
+		WildernessFree: i.WildernessFree, WildernessHW: i.WildernessHW,
+		ReqBytes: i.ReqBytes, GrantedBytes: i.GrantedBytes,
+	}
+}

@@ -9,6 +9,7 @@ package smartheap
 
 import (
 	"fmt"
+	"sort"
 
 	"amplify/internal/alloc"
 	"amplify/internal/heapcore"
@@ -47,6 +48,7 @@ type Allocator struct {
 	caches  map[int]*threadCache
 	sizeOf  map[mem.Ref]int64
 	stats   alloc.Stats
+	obs     alloc.Observer
 }
 
 // New creates the allocator.
@@ -67,8 +69,10 @@ func New(e *sim.Engine, sp *mem.Space) *Allocator {
 }
 
 func init() {
-	alloc.Register("smartheap", func(e *sim.Engine, sp *mem.Space, _ alloc.Options) alloc.Allocator {
-		return New(e, sp)
+	alloc.Register("smartheap", func(e *sim.Engine, sp *mem.Space, opt alloc.Options) alloc.Allocator {
+		a := New(e, sp)
+		a.obs = opt.Observer
+		return a
 	})
 }
 
@@ -105,8 +109,11 @@ func (a *Allocator) Alloc(c *sim.Ctx, size int64) mem.Ref {
 		ref := a.shared.Alloc(c, size)
 		usable := a.shared.UsableSize(ref)
 		a.sizeOf[ref] = usable
-		a.stats.Count(usable)
+		a.stats.Count(size, usable)
 		a.lock.Unlock(c)
+		if a.obs != nil {
+			a.obs.Observe(c.Now(), alloc.ObsAlloc, usable)
+		}
 		return ref
 	}
 	c.Work(PathOps)
@@ -121,7 +128,10 @@ func (a *Allocator) Alloc(c *sim.Ctx, size int64) mem.Ref {
 	tc.lists[ci] = tc.lists[ci][:last]
 	c.Read(uint64(ref), 8)
 	c.Write(listAddr, 8)
-	a.stats.Count(a.classes[ci].size)
+	a.stats.Count(size, a.classes[ci].size)
+	if a.obs != nil {
+		a.obs.Observe(c.Now(), alloc.ObsAlloc, a.classes[ci].size)
+	}
 	return ref
 }
 
@@ -147,6 +157,9 @@ func (a *Allocator) Free(c *sim.Ctx, ref mem.Ref) {
 	}
 	ci := a.classFor(usable)
 	a.stats.Uncount(usable)
+	if a.obs != nil {
+		a.obs.Observe(c.Now(), alloc.ObsFree, usable)
+	}
 	if ci < 0 {
 		a.lock.Lock(c)
 		a.shared.Free(c, ref)
@@ -187,3 +200,33 @@ func (a *Allocator) UsableSize(ref mem.Ref) int64 {
 
 // Stats implements alloc.Allocator.
 func (a *Allocator) Stats() alloc.Stats { return a.stats }
+
+// Inspect implements alloc.Inspector: the shared heap's state plus one
+// ArenaInfo per thread cache reporting its free-list depth. Cache
+// blocks are free from the allocator's view but still counted inside
+// the shared heap's live bytes, so they appear only in the per-cache
+// rows, not the aggregate.
+func (a *Allocator) Inspect() alloc.HeapInfo {
+	i := a.shared.Inspect()
+	hi := alloc.HeapInfo{
+		FreeBytes: i.FreeBytes, FreeBlocks: i.FreeBlocks, LargestFree: i.LargestFree,
+		WildernessFree: i.WildernessFree, WildernessHW: i.WildernessHW,
+		ReqBytes: a.stats.ReqBytes, GrantedBytes: a.stats.GrantBytes,
+	}
+	tids := make([]int, 0, len(a.caches))
+	for tid := range a.caches {
+		tids = append(tids, tid)
+	}
+	sort.Ints(tids)
+	for _, tid := range tids {
+		tc := a.caches[tid]
+		ai := alloc.ArenaInfo{Name: fmt.Sprintf("tcache%d", tid)}
+		for ci, list := range tc.lists {
+			n := int64(len(list))
+			ai.FreeBlocks += n
+			ai.FreeBytes += n * a.classes[ci].size
+		}
+		hi.Arenas = append(hi.Arenas, ai)
+	}
+	return hi
+}

@@ -26,6 +26,11 @@ type Program struct {
 	Consts []int64
 	Strs   []string // string-literal table
 	Names  []string // method/field-name table for dynamic dispatch
+	// Sites is the allocation-site table: "fn@line" strings that the C
+	// operand of OpNew/OpPlacementNew/OpNewArray/OpPoolAlloc/OpRealloc
+	// indexes. Sites[0] is the "?" sentinel, so an unset C operand
+	// resolves to an unknown site rather than a wrong one.
+	Sites []string
 	// FuncID maps free-function names to Fn indices.
 	FuncID map[string]int
 	// Optimized records whether the peephole pass ran.
@@ -42,6 +47,7 @@ type Program struct {
 	nameID   map[string]int
 	constID  map[int64]int
 	strID    map[string]int
+	siteID   map[string]int32
 }
 
 // classInfo is the per-class compile-time dispatch record: everything
@@ -99,12 +105,14 @@ func Compile(src *cc.Program) (*Program, error) {
 func CompileOpts(src *cc.Program, opt Options) (*Program, error) {
 	p := &Program{
 		Src:      src,
+		Sites:    []string{"?"},
 		FuncID:   map[string]int{},
 		methodID: map[methodKey]int{},
 		classID:  map[string]int{},
 		nameID:   map[string]int{},
 		constID:  map[int64]int{},
 		strID:    map[string]int{},
+		siteID:   map[string]int32{"?": 0},
 	}
 	// Reserve ids first so calls can reference later definitions.
 	for _, d := range src.Decls {
@@ -235,13 +243,14 @@ func (p *Program) name(s string) int32 {
 type compiler struct {
 	p      *Program
 	class  *cc.ClassDecl
+	fnName string
 	code   []Instr
 	scopes []map[string]int
 	slots  int
 }
 
 func (p *Program) compileBody(name string, class *cc.ClassDecl, kind cc.MethodKind, params []*cc.Param, body *cc.Block) (*Fn, error) {
-	c := &compiler{p: p, class: class}
+	c := &compiler{p: p, class: class, fnName: name}
 	c.push()
 	for _, prm := range params {
 		c.declare(prm.Name)
@@ -265,6 +274,19 @@ func (p *Program) compileBody(name string, class *cc.ClassDecl, kind cc.MethodKi
 func (c *compiler) emit(op Op, a, b int32) int {
 	c.code = append(c.code, Instr{Op: op, W: 1, A: a, B: b})
 	return len(c.code) - 1
+}
+
+// site interns "fn@line" for the source position and returns its index
+// in p.Sites, for the C operand of allocating opcodes.
+func (c *compiler) site(pos cc.Pos) int32 {
+	key := fmt.Sprintf("%s@%d", c.fnName, pos.Line)
+	if id, ok := c.p.siteID[key]; ok {
+		return id
+	}
+	id := int32(len(c.p.Sites))
+	c.p.Sites = append(c.p.Sites, key)
+	c.p.siteID[key] = id
+	return id
 }
 
 // classIdx resolves a class name to its id. The front end (sema) rejects
@@ -547,7 +569,8 @@ func (c *compiler) expr(e cc.Expr) error {
 		if err != nil {
 			return err
 		}
-		c.emit(op, id, int32(len(e.Args)))
+		at := c.emit(op, id, int32(len(e.Args)))
+		c.code[at].C = c.site(e.Pos)
 		return nil
 	case *cc.NewArray:
 		if err := c.expr(e.Len); err != nil {
@@ -557,7 +580,8 @@ func (c *compiler) expr(e cc.Expr) error {
 		if e.Elem.Name == "int" {
 			elem = cc.FieldSize
 		}
-		c.emit(OpNewArray, elem, 0)
+		at := c.emit(OpNewArray, elem, 0)
+		c.code[at].C = c.site(e.Pos)
 		return nil
 	}
 	return fmt.Errorf("vm: cannot compile expression %T", e)
@@ -693,7 +717,8 @@ func (c *compiler) intrinsic(e *cc.Call) error {
 		if err != nil {
 			return err
 		}
-		c.emit(OpPoolAlloc, id, 0)
+		at := c.emit(OpPoolAlloc, id, 0)
+		c.code[at].C = c.site(e.Pos)
 		return nil
 	case "__pool_free":
 		id, err := c.classIdx(e.Args[0].(*cc.Ident).Name)
@@ -713,7 +738,8 @@ func (c *compiler) intrinsic(e *cc.Call) error {
 		if err := c.expr(e.Args[1]); err != nil {
 			return err
 		}
-		c.emit(OpRealloc, 0, 0)
+		at := c.emit(OpRealloc, 0, 0)
+		c.code[at].C = c.site(e.Pos)
 		return nil
 	case "__shadow_save":
 		if err := c.expr(e.Args[0]); err != nil {

@@ -31,6 +31,19 @@ type Config struct {
 	// bulk work batching so virtual timestamps are exact at call
 	// boundaries.
 	Profiler Profiler
+	// HeapObserver receives allocator and pool events (alloc.Observer).
+	// It is threaded to the underlying allocator and the pool runtime;
+	// when it also implements alloc.Watcher (or WatchPools), it is
+	// attached to the run's address space, allocator and pool runtime
+	// before execution. Observation is host-side only — a non-nil
+	// observer never changes makespans.
+	HeapObserver alloc.Observer
+	// HeapProf receives allocation-site hooks (births and deaths keyed
+	// by the compiled Sites table) plus the same Enter/Exit shadow-stack
+	// hooks as Profiler. Unlike Profiler it does not disable bulk work
+	// batching: site attribution needs call nesting, not exact
+	// timestamps, so counts are unaffected.
+	HeapProf HeapProfiler
 	// NoOpt makes RunSource compile without the peephole pass (see
 	// Options.NoOpt). Programs compiled with Compile/CompileOpts carry
 	// their own setting and ignore this field.
@@ -45,6 +58,21 @@ type Config struct {
 type Profiler interface {
 	Enter(thread int, fn string, now int64)
 	Exit(thread int, now int64)
+}
+
+// HeapProfiler observes allocation sites: every program-level birth
+// (new, new[], pool alloc, realloc) and death (delete, delete[], pool
+// free, shadow save, realloc) with the "fn@line" site the compiler
+// recorded and the shadow call stack maintained via Enter/Exit.
+// heapobsv.SiteProfile implements it (the interface lives here so the
+// VM does not depend on the exporter package). Pool hits and shadow
+// reuses count as births/deaths too: the profile tracks program-level
+// object lifetimes, not allocator traffic.
+type HeapProfiler interface {
+	Enter(thread int, fn string, now int64)
+	Exit(thread int, now int64)
+	Alloc(thread int, site, class string, bytes int64, ref mem.Ref)
+	Free(thread int, ref mem.Ref)
 }
 
 func (c Config) withDefaults() Config {
@@ -71,6 +99,9 @@ type Result struct {
 	PoolMisses   int64
 	ShadowReuses int64
 	Footprint    int64
+	// Heap is the allocator's post-run introspection snapshot
+	// (fragmentation, free-list state, per-arena occupancy).
+	Heap alloc.HeapInfo
 	// Pools breaks the pool counters down per class.
 	Pools []PoolStat
 }
@@ -111,11 +142,12 @@ func Run(p *Program, cfg Config) (res Result, err error) {
 	}
 	e := sim.New(sim.Config{Processors: cfg.Processors, Tracer: cfg.Tracer, TraceMask: cfg.TraceMask})
 	sp := mem.NewSpace()
-	under, err := alloc.New(cfg.Strategy, e, sp, alloc.Options{})
+	under, err := alloc.New(cfg.Strategy, e, sp, alloc.Options{Observer: cfg.HeapObserver})
 	if err != nil {
 		return res, err
 	}
 	pcfg := cfg.Pool
+	pcfg.Observer = cfg.HeapObserver
 	if !p.Src.UsesThreads {
 		pcfg.SingleThreaded = true
 	}
@@ -138,6 +170,15 @@ func Run(p *Program, cfg Config) (res Result, err error) {
 		// event and call-boundary timestamps exact.
 		bulk: !p.Src.UsesThreads && cfg.Tracer == nil && cfg.Profiler == nil,
 		prof: cfg.Profiler,
+		hp:   cfg.HeapProf,
+	}
+	if cfg.HeapObserver != nil {
+		if w, ok := cfg.HeapObserver.(alloc.Watcher); ok {
+			w.Watch(sp, under)
+		}
+		if w, ok := cfg.HeapObserver.(interface{ WatchPools(*pool.Runtime) }); ok {
+			w.WatchPools(m.rt)
+		}
 	}
 	e.Go("main", func(c *sim.Ctx) {
 		ret := m.exec(c, p.Fns[mainID], mem.Nil, nil)
@@ -160,6 +201,9 @@ func Run(p *Program, cfg Config) (res Result, err error) {
 	res.Alloc = under.Stats()
 	res.ShadowReuses = m.rt.ShadowReuses
 	res.Footprint = sp.Footprint()
+	if insp, ok := under.(alloc.Inspector); ok {
+		res.Heap = insp.Inspect()
+	}
 	for _, pl := range m.rt.Pools() {
 		res.PoolHits += pl.Hits
 		res.PoolMisses += pl.Misses
@@ -283,6 +327,7 @@ type machine struct {
 	bulk     bool
 	pending  int64
 	prof     Profiler
+	hp       HeapProfiler
 	out      strings.Builder
 	exitCode int64
 	// curFn/curPC track the executing site for fault messages.
@@ -402,6 +447,9 @@ func (m *machine) exec(c *sim.Ctx, fn *Fn, this mem.Ref, args []value) value {
 	m.curFn = fn
 	if m.prof != nil {
 		m.prof.Enter(c.ThreadID(), fn.Name, c.Now())
+	}
+	if m.hp != nil {
+		m.hp.Enter(c.ThreadID(), fn.Name, c.Now())
 	}
 	slots := m.getFrame(fn.Slots)
 	copy(slots, args)
@@ -569,10 +617,10 @@ loop:
 				placement = stack[len(stack)-1]
 				stack = stack[:len(stack)-1]
 			}
-			stack = append(stack, m.doNew(c, m.p.classes[ins.A], placement, args))
+			stack = append(stack, m.doNew(c, m.p.classes[ins.A], placement, args, ins.C))
 		case OpNewArray:
 			n := stack[len(stack)-1]
-			stack[len(stack)-1] = m.newBuffer(c, ins.A, n.i)
+			stack[len(stack)-1] = m.newBuffer(c, ins.A, n.i, ins.C)
 		case OpDelete:
 			v := stack[len(stack)-1]
 			stack = stack[:len(stack)-1]
@@ -588,6 +636,9 @@ loop:
 			m.flushWork(c)
 			m.alloc.Free(c, v.ref)
 			c.Trace(sim.EvFree, "buffer", int64(v.ref), 0)
+			if m.hp != nil {
+				m.hp.Free(c.ThreadID(), v.ref)
+			}
 		case OpRet:
 			ret = stack[len(stack)-1]
 			stack = stack[:len(stack)-1]
@@ -637,6 +688,9 @@ loop:
 			} else {
 				m.h.ensure(ref).setObject(ci)
 			}
+			if m.hp != nil {
+				m.hp.Alloc(c.ThreadID(), m.p.Sites[ins.C], ci.decl.Name, ci.decl.Size, ref)
+			}
 			stack = append(stack, rv(ref))
 		case OpPoolFree:
 			v := stack[len(stack)-1]
@@ -653,11 +707,14 @@ loop:
 			if pooled := m.poolFor(ci).Free(c, v.ref); !pooled {
 				s.state = stFreed
 			}
+			if m.hp != nil {
+				m.hp.Free(c.ThreadID(), v.ref)
+			}
 		case OpRealloc:
 			n := stack[len(stack)-1]
 			ptr := stack[len(stack)-2]
 			stack = stack[:len(stack)-1]
-			stack[len(stack)-1] = m.doRealloc(c, ptr, n.i)
+			stack[len(stack)-1] = m.doRealloc(c, ptr, n.i, ins.C)
 		case OpShadowSave:
 			v := stack[len(stack)-1]
 			if v.ref == mem.Nil {
@@ -672,6 +729,11 @@ loop:
 			} else {
 				s.state = stFreed
 				stack[len(stack)-1] = rv(mem.Nil)
+			}
+			// Saved or released, the buffer is dead at the program level;
+			// a later realloc reusing the shadow records a fresh birth.
+			if m.hp != nil {
+				m.hp.Free(c.ThreadID(), v.ref)
 			}
 		case OpLoadLocalField:
 			recv := slots[ins.A]
@@ -703,6 +765,9 @@ loop:
 	m.putStack(stack)
 	if m.prof != nil {
 		m.prof.Exit(c.ThreadID(), c.Now())
+	}
+	if m.hp != nil {
+		m.hp.Exit(c.ThreadID(), c.Now())
 	}
 	m.curFn, m.curPC = prevFn, prevPC
 	return ret
@@ -778,7 +843,7 @@ func (m *machine) runDtor(c *sim.Ctx, s *hslot, ref mem.Ref) {
 	s.state = stDestroyed
 }
 
-func (m *machine) doNew(c *sim.Ctx, ci *classInfo, placement value, args []value) value {
+func (m *machine) doNew(c *sim.Ctx, ci *classInfo, placement value, args []value, site int32) value {
 	m.flushWork(c)
 	if placement.kind == 'r' && placement.ref != mem.Nil {
 		s := m.objSlot(placement.ref, &m.cMisc)
@@ -810,6 +875,12 @@ func (m *machine) doNew(c *sim.Ctx, ci *classInfo, placement value, args []value
 		ref = m.alloc.Alloc(c, ci.decl.Size)
 		m.h.ensure(ref).setObject(ci)
 		c.Trace(sim.EvAlloc, ci.decl.Name, ci.decl.Size, int64(ref))
+		// The operator-new path above allocates inside ci.opNew and
+		// records its birth at the inner OpPoolAlloc/OpNewArray site;
+		// only the direct path records here.
+		if m.hp != nil {
+			m.hp.Alloc(c.ThreadID(), m.p.Sites[site], ci.decl.Name, ci.decl.Size, ref)
+		}
 	}
 	m.runCtor(c, ci, ref, args)
 	return rv(ref)
@@ -833,9 +904,12 @@ func (m *machine) doDelete(c *sim.Ctx, v value) {
 	s.state = stFreed
 	m.alloc.Free(c, v.ref)
 	c.Trace(sim.EvFree, s.class.decl.Name, int64(v.ref), 0)
+	if m.hp != nil {
+		m.hp.Free(c.ThreadID(), v.ref)
+	}
 }
 
-func (m *machine) newBuffer(c *sim.Ctx, elemSize int32, n int64) value {
+func (m *machine) newBuffer(c *sim.Ctx, elemSize int32, n int64, site int32) value {
 	m.flushWork(c)
 	if n < 0 {
 		m.fail("new array with negative length %d", n)
@@ -847,10 +921,13 @@ func (m *machine) newBuffer(c *sim.Ctx, elemSize int32, n int64) value {
 	ref := m.alloc.Alloc(c, size)
 	m.h.ensure(ref).setBuffer(elemSize, n, m.alloc.UsableSize(ref))
 	c.Trace(sim.EvAlloc, "buffer", size, int64(ref))
+	if m.hp != nil {
+		m.hp.Alloc(c.ThreadID(), m.p.Sites[site], "", size, ref)
+	}
 	return rv(ref)
 }
 
-func (m *machine) doRealloc(c *sim.Ctx, ptr value, n int64) value {
+func (m *machine) doRealloc(c *sim.Ctx, ptr value, n int64, site int32) value {
 	m.flushWork(c)
 	if n < 0 {
 		m.fail("realloc: negative size")
@@ -866,6 +943,16 @@ func (m *machine) doRealloc(c *sim.Ctx, ptr value, n int64) value {
 		size = 1
 	}
 	ref, usable := m.rt.ShadowRealloc(c, ptr.ref, prevUsable, size)
+	// A realloc is a death plus a birth at this site even when the
+	// shadow hands the same block back — the program-level object is
+	// new. The old ref may already be dead (shadow-saved); Free of an
+	// unknown ref is a no-op.
+	if m.hp != nil {
+		if ptr.ref != mem.Nil {
+			m.hp.Free(c.ThreadID(), ptr.ref)
+		}
+		m.hp.Alloc(c.ThreadID(), m.p.Sites[site], "", size, ref)
+	}
 	elemSize := int32(1)
 	if prev != nil {
 		elemSize = prev.elemSize

@@ -80,6 +80,11 @@ type TreeConfig struct {
 	// delivered (zero means all).
 	Tracer    sim.Tracer
 	TraceMask sim.Mask
+	// HeapObserver receives allocator and pool events (heap timelines,
+	// fragmentation sampling). When it also implements alloc.Watcher or
+	// WatchPools it is attached to the run's space/allocator/pool
+	// runtime before execution. Host-side only: never changes makespans.
+	HeapObserver alloc.Observer
 }
 
 func (cfg TreeConfig) withDefaults() TreeConfig {
@@ -117,6 +122,9 @@ type Result struct {
 	// FailedTryLocks counts failed trylock attempts across all mutexes
 	// (the quantity §5.1 reports as "failed lock attempts").
 	FailedTryLocks int64
+	// Heap is the underlying allocator's post-run introspection snapshot
+	// (fragmentation, free-list state, per-arena occupancy).
+	Heap alloc.HeapInfo
 }
 
 // Strategies lists the tree-workload strategy names.
@@ -135,26 +143,30 @@ func RunTree(strategy string, cfg TreeConfig) (Result, error) {
 
 	switch strategy {
 	case "serial", "ptmalloc", "hoard", "smartheap", "lkmalloc":
-		a, err := alloc.New(strategy, e, sp, alloc.Options{Threads: cfg.Threads, Arenas: cfg.Arenas})
+		a, err := alloc.New(strategy, e, sp, alloc.Options{Threads: cfg.Threads, Arenas: cfg.Arenas, Observer: cfg.HeapObserver})
 		if err != nil {
 			return res, err
 		}
+		watchHeap(cfg.HeapObserver, sp, a, nil)
 		forEachThread(e, cfg, func(c *sim.Ctx, trees int) {
 			plainWorker(c, a, cfg, trees)
 		})
 		res.Makespan = e.Run()
 		res.Alloc = a.Stats()
+		res.Heap = inspectHeap(a)
 
 	case "amplify":
-		under, err := alloc.New("serial", e, sp, alloc.Options{Threads: cfg.Threads})
+		under, err := alloc.New("serial", e, sp, alloc.Options{Threads: cfg.Threads, Observer: cfg.HeapObserver})
 		if err != nil {
 			return res, err
 		}
 		pcfg := cfg.Pool
+		pcfg.Observer = cfg.HeapObserver
 		if cfg.Threads == 1 && !cfg.KeepPoolLocks {
 			pcfg.SingleThreaded = true
 		}
 		rt := pool.NewRuntime(e, under, pcfg)
+		watchHeap(cfg.HeapObserver, sp, under, rt)
 		np := rt.NewClassPool("Node", AmpNodeSize)
 		forEachThread(e, cfg, func(c *sim.Ctx, trees int) {
 			amplifiedWorker(c, rt, np, cfg, trees)
@@ -163,20 +175,23 @@ func RunTree(strategy string, cfg TreeConfig) (Result, error) {
 		res.Alloc = under.Stats()
 		res.PoolHits = np.Hits
 		res.PoolMisses = np.Misses
+		res.Heap = inspectHeap(under)
 
 	case "objectpool":
 		// §2.1's traditional object pool: every node goes through the
 		// class pool individually — no structure reuse, so a 15-node
 		// tree costs 15 pool operations instead of Amplify's one.
-		under, err := alloc.New("serial", e, sp, alloc.Options{Threads: cfg.Threads})
+		under, err := alloc.New("serial", e, sp, alloc.Options{Threads: cfg.Threads, Observer: cfg.HeapObserver})
 		if err != nil {
 			return res, err
 		}
 		pcfg := cfg.Pool
+		pcfg.Observer = cfg.HeapObserver
 		if cfg.Threads == 1 {
 			pcfg.SingleThreaded = true
 		}
 		rt := pool.NewRuntime(e, under, pcfg)
+		watchHeap(cfg.HeapObserver, sp, under, rt)
 		np := rt.NewClassPool("Node", PlainNodeSize)
 		forEachThread(e, cfg, func(c *sim.Ctx, trees int) {
 			objectPoolWorker(c, np, cfg, trees)
@@ -185,12 +200,14 @@ func RunTree(strategy string, cfg TreeConfig) (Result, error) {
 		res.Alloc = under.Stats()
 		res.PoolHits = np.Hits
 		res.PoolMisses = np.Misses
+		res.Heap = inspectHeap(under)
 
 	case "handmade":
-		under, err := alloc.New("serial", e, sp, alloc.Options{Threads: cfg.Threads})
+		under, err := alloc.New("serial", e, sp, alloc.Options{Threads: cfg.Threads, Observer: cfg.HeapObserver})
 		if err != nil {
 			return res, err
 		}
+		watchHeap(cfg.HeapObserver, sp, under, nil)
 		var hits, misses int64
 		forEachThread(e, cfg, func(c *sim.Ctx, trees int) {
 			h, m := handmadeWorker(c, under, cfg, trees)
@@ -201,6 +218,7 @@ func RunTree(strategy string, cfg TreeConfig) (Result, error) {
 		res.Alloc = under.Stats()
 		res.PoolHits = hits
 		res.PoolMisses = misses
+		res.Heap = inspectHeap(under)
 
 	default:
 		return res, fmt.Errorf("workload: unknown strategy %q (have %v)", strategy, Strategies())
@@ -210,6 +228,32 @@ func RunTree(strategy string, cfg TreeConfig) (Result, error) {
 	res.Footprint = sp.Footprint()
 	res.FailedTryLocks = failedTryLocks(e)
 	return res, nil
+}
+
+// watchHeap attaches a heap observer to the run's address space,
+// allocator and (when present) pool runtime, for observers that want
+// to pull state during the run rather than just count events.
+func watchHeap(o alloc.Observer, sp *mem.Space, a alloc.Allocator, rt *pool.Runtime) {
+	if o == nil {
+		return
+	}
+	if w, ok := o.(alloc.Watcher); ok {
+		w.Watch(sp, a)
+	}
+	if rt != nil {
+		if w, ok := o.(interface{ WatchPools(*pool.Runtime) }); ok {
+			w.WatchPools(rt)
+		}
+	}
+}
+
+// inspectHeap snapshots the allocator's introspection state, when it
+// exposes any.
+func inspectHeap(a alloc.Allocator) alloc.HeapInfo {
+	if insp, ok := a.(alloc.Inspector); ok {
+		return insp.Inspect()
+	}
+	return alloc.HeapInfo{}
 }
 
 // failedTryLocks sums failed trylock attempts over every mutex.
