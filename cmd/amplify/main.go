@@ -17,6 +17,14 @@
 //	-vet            analyze only: print diagnostics, exit 1 on errors
 //	-vet-json       analyze only: print machine-readable JSON findings
 //	-auto-exclude   run the analyzer and exclude ineligible classes
+//	-escape         let the interprocedural escape/lifetime analysis
+//	                drive the transform: frame promotion of proven
+//	                non-escaping new/delete pairs, lock-free
+//	                thread-private pools for thread-local classes, and
+//	                pool pre-sizing from inferred allocation bounds
+//	-escape-json    analyze only: print the escape analysis verdicts
+//	                (per-site classification, class partition, pre-size
+//	                hints, V008/V009 findings) as deterministic JSON
 package main
 
 import (
@@ -39,6 +47,8 @@ func main() {
 	vetOnly := flag.Bool("vet", false, "analyze for memory defects and amplify-safety; no transform")
 	vetJSON := flag.Bool("vet-json", false, "like -vet but print JSON findings to stdout")
 	autoExclude := flag.Bool("auto-exclude", false, "exclude classes the analyzer rules ineligible")
+	escape := flag.Bool("escape", false, "apply the escape-analysis-driven rewrites (frame promotion, thread-private pools, pool pre-sizing)")
+	escapeJSON := flag.Bool("escape-json", false, "analyze only: print the escape analysis verdicts as JSON")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -55,10 +65,23 @@ func main() {
 		runVet(src, flag.Arg(0), *vetJSON)
 		return
 	}
+	if *escapeJSON {
+		rep, err := vet.EscapeSource(src)
+		if err != nil {
+			fatal(err)
+		}
+		raw, err := rep.JSON(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(string(raw))
+		return
+	}
 
 	opt := core.Options{
 		ArraysOnly: *arraysOnly,
 		Mode:       core.Mode(*mode),
+		Escape:     *escape,
 	}
 	if *exclude != "" {
 		opt.Exclude = strings.Split(*exclude, ",")

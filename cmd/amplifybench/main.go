@@ -7,14 +7,15 @@
 //
 // Flags:
 //
-//	-exp name     one of table1, fig4..fig11, claims, endtoend, or "all"
+//	-exp name     one of table1, fig4..fig11, claims, escape, endtoend,
+//	              or "all" (see -list for the full set)
 //	-quick        smaller runs (coarser thread grid, fewer trees/CDRs)
 //	-list         list experiment names and exit
 //	-j N          run up to N independent simulations concurrently
 //	              (default: the host's CPU count; output is identical
 //	              for every N — only wall-clock changes)
 //	-json         emit a machine-readable BENCH report (schema
-//	              amplify-bench/3) on stdout instead of text
+//	              amplify-bench/4) on stdout instead of text
 //	-trace-dir d  export observability artifacts into d: Chrome traces
 //	              of the tree workload under serial/ptmalloc/amplify, a
 //	              JSONL event stream, a per-lock contention profile,
@@ -112,7 +113,7 @@ func run() error {
 	r.VMNoOpt = *noOpt
 	var todo []string
 	if *exp == "all" {
-		todo = []string{"table1", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "claims", "memory", "pipeline", "sensitivity", "endtoend"}
+		todo = []string{"table1", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "claims", "memory", "pipeline", "sensitivity", "escape", "endtoend"}
 	} else {
 		todo = strings.Split(*exp, ",")
 	}

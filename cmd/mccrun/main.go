@@ -15,7 +15,11 @@
 //	              (the default -O behavior changes nothing simulated,
 //	              only host speed)
 //	-stats        print execution statistics to stderr
-//	-vet          lint the program first; refuse to run on errors
+//	-vet          lint the program first (including the interprocedural
+//	              escape/lifetime verdicts); refuse to run on errors
+//	-escape       with -amplify: apply the escape-analysis-driven
+//	              rewrites (frame promotion, thread-private pools,
+//	              pool pre-sizing)
 //	-trace-out f  write a Chrome trace_event JSON file (load it in
 //	              chrome://tracing or Perfetto; one track per virtual CPU,
 //	              async slices for lock-wait intervals)
@@ -99,6 +103,7 @@ func run() (int, error) {
 	heapProfile := flag.String("heap-profile", "", "write folded stacks of allocated bytes per MiniCC site (vm engine only); per-site table goes to <file>.sites")
 	metricsOut := flag.String("metrics", "", "write a JSON metrics snapshot of the run")
 	vetFirst := flag.Bool("vet", false, "lint the program before running; refuse to run on errors")
+	escape := flag.Bool("escape", false, "with -amplify: apply the escape-analysis-driven rewrites")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -110,6 +115,9 @@ func run() (int, error) {
 	if err != nil {
 		return 0, err
 	}
+	if *escape && !*amplify {
+		return 0, fmt.Errorf("-escape needs -amplify (it selects which rewrites the pre-processor applies)")
+	}
 	if *vetFirst {
 		res, err := vet.CheckSource(src)
 		if err != nil {
@@ -120,11 +128,19 @@ func run() (int, error) {
 			errs, _ := res.Counts()
 			return 0, fmt.Errorf("vet found %d errors; refusing to run", errs)
 		}
+		// The program is clean, so also print what the interprocedural
+		// analysis concluded about its allocation sites.
+		esc, err := vet.EscapeSource(src)
+		if err != nil {
+			return 0, err
+		}
+		fmt.Fprint(os.Stderr, esc.String())
 	}
 	if *amplify {
 		transformed, rep, err := core.Rewrite(src, core.Options{
 			ArraysOnly: *arraysOnly,
 			Mode:       core.Mode(*mode),
+			Escape:     *escape,
 		})
 		if err != nil {
 			return 0, err

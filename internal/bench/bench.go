@@ -459,7 +459,7 @@ func (r *Runner) Claims() (string, error) {
 
 // Names lists the experiment identifiers accepted by Run.
 func Names() []string {
-	names := []string{"table1", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "claims", "memory", "pipeline", "sensitivity"}
+	names := []string{"table1", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "claims", "memory", "pipeline", "sensitivity", "escape"}
 	sort.Strings(names)
 	return names
 }
@@ -501,6 +501,8 @@ func (r *Runner) Run(name string) (string, error) {
 		return r.Pipeline()
 	case "sensitivity":
 		return r.Sensitivity()
+	case "escape":
+		return r.Escape()
 	case "endtoend":
 		return r.EndToEnd()
 	default:

@@ -1,0 +1,85 @@
+package bench
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestEscapeVerdictsClassifyEverySite pins the acceptance criterion
+// that the analysis reaches a verdict for every `new` site in the
+// committed corpus: the per-workload site lists must cover each
+// textual `new` occurrence, and every verdict string must be one of
+// the three lattice points.
+func TestEscapeVerdictsClassifyEverySite(t *testing.T) {
+	r := NewRunner(true)
+	verdicts, err := r.EscapeVerdicts()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]EscapeWorkloadReport{}
+	for _, wr := range verdicts {
+		byName[wr.Workload] = wr
+	}
+	for _, w := range r.escWorkloads() {
+		wr, ok := byName[w.name]
+		if !ok {
+			t.Fatalf("no verdict section for workload %s", w.name)
+		}
+		// The corpus sources contain no comments or identifiers with a
+		// "new " prefix, so the textual count is the site count.
+		if want := strings.Count(w.src, "new "); len(wr.Sites) != want {
+			t.Errorf("%s: %d sites classified, source has %d `new` sites",
+				w.name, len(wr.Sites), want)
+		}
+		for _, s := range wr.Sites {
+			switch s.Verdict {
+			case "non-escaping", "thread-local", "shared":
+			default:
+				t.Errorf("%s: site %s:%d has unknown verdict %q",
+					w.name, s.Func, s.Line, s.Verdict)
+			}
+			if s.Class == "" || s.Func == "" {
+				t.Errorf("%s: incomplete site record %+v", w.name, s)
+			}
+		}
+	}
+}
+
+// TestEscapeReportJobsInvariant locks the -j determinism contract for
+// the new experiment: the escape verdict section and every makespan it
+// contributes must be byte-identical whether the cells were computed
+// sequentially (-j1) or by eight workers (-j8).
+func TestEscapeReportJobsInvariant(t *testing.T) {
+	run := func(jobs int) (*Report, []byte) {
+		r := NewRunner(true)
+		r.Jobs = jobs
+		if jobs > 1 {
+			if err := r.Precompute([]string{"escape"}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		rep, err := r.Report([]string{"escape"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		esc, err := json.Marshal(rep.Escape)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep, esc
+	}
+	rep1, esc1 := run(1)
+	rep8, esc8 := run(8)
+	if string(esc1) != string(esc8) {
+		t.Errorf("escape verdict JSON differs between -j1 and -j8:\n%s\nvs\n%s", esc1, esc8)
+	}
+	if !reflect.DeepEqual(rep1.Makespans, rep8.Makespans) {
+		t.Errorf("escape makespans differ between -j1 and -j8: %v vs %v",
+			rep1.Makespans, rep8.Makespans)
+	}
+	if len(rep1.Makespans) == 0 {
+		t.Error("escape experiment produced no makespan cells")
+	}
+}

@@ -12,10 +12,12 @@ import (
 
 // ReportSchema identifies the BENCH.json layout; bump on incompatible
 // changes so trajectory tooling can dispatch on it. Version 2 added
-// the unified metrics registry snapshot (Metrics); version 3 adds the
-// per-cell heap map (Heap) and per-experiment heap headlines; the
-// simulated makespans are unchanged from version 1.
-const ReportSchema = "amplify-bench/3"
+// the unified metrics registry snapshot (Metrics); version 3 added the
+// per-cell heap map (Heap) and per-experiment heap headlines; version
+// 4 adds the escape-analysis verdict section (Escape) stamped by the
+// escape experiment; the simulated makespans are unchanged from
+// version 1.
+const ReportSchema = "amplify-bench/4"
 
 // Report is the machine-readable record of one amplifybench
 // invocation: what ran, how long the host took, and every simulated
@@ -44,6 +46,11 @@ type Report struct {
 	// external fragmentation in basis points. Integer-only and
 	// deterministic, like Makespans — -compare diffs these too.
 	Heap map[string]HeapCell `json:"heap,omitempty"`
+	// Escape is the interprocedural analysis's per-class/per-site
+	// verdict section over the committed corpus, stamped when the
+	// escape experiment runs (schema v4). Deterministic: it depends
+	// only on the analyzer and the corpus sources.
+	Escape []EscapeWorkloadReport `json:"escape,omitempty"`
 }
 
 // HeapCell is one simulation's memory-consumption record.
@@ -130,6 +137,13 @@ func (r *Runner) Report(names []string) (*Report, error) {
 			}
 		} else if _, err := r.Run(name); err != nil {
 			return nil, err
+		}
+		if name == "escape" {
+			verdicts, err := r.EscapeVerdicts()
+			if err != nil {
+				return nil, err
+			}
+			rep.Escape = verdicts
 		}
 		er.WallSeconds = time.Since(start).Seconds()
 		rep.Experiments = append(rep.Experiments, er)

@@ -240,6 +240,15 @@ func (r *Runner) cellSpecs(name string) []cellSpec {
 				return err
 			}})
 		}
+	case "escape":
+		for _, w := range r.escWorkloads() {
+			for _, escape := range []bool{false, true} {
+				tasks = append(tasks, cellSpec{escKey(w.name, escape), func() error {
+					_, err := r.runEscapeCell(w, escape)
+					return err
+				}})
+			}
+		}
 	}
 	return tasks
 }

@@ -11,13 +11,24 @@ const FieldSize = 4
 // Intrinsics are the runtime functions the pre-processor's output may
 // call. __pool_alloc/__pool_free are the generalized structure pool of
 // §3.2; realloc/__shadow_save are the data-type array handling of §5.2.
+// The escape-analysis rewrites (internal/vet, internal/core) add five
+// more: __frame_alloc/__frame_free move a proven non-escaping object
+// into the creating function's frame region, __pool_alloc_tl and
+// __pool_free_tl are the lock-free thread-private pool entry points for
+// classes proven thread-local, and __pool_reserve pre-sizes a class
+// pool from a statically inferred allocation bound.
 var Intrinsics = map[string]Type{
-	"print":         {Name: "void"},
-	"realloc":       {Name: "void", Stars: 1},
-	"__pool_alloc":  {Name: "void", Stars: 1},
-	"__pool_free":   {Name: "void"},
-	"__shadow_save": {Name: "void", Stars: 1},
-	"__work":        {Name: "void"},
+	"print":           {Name: "void"},
+	"realloc":         {Name: "void", Stars: 1},
+	"__pool_alloc":    {Name: "void", Stars: 1},
+	"__pool_free":     {Name: "void"},
+	"__shadow_save":   {Name: "void", Stars: 1},
+	"__work":          {Name: "void"},
+	"__frame_alloc":   {Name: "void", Stars: 1},
+	"__frame_free":    {Name: "void"},
+	"__pool_alloc_tl": {Name: "void", Stars: 1},
+	"__pool_free_tl":  {Name: "void"},
+	"__pool_reserve":  {Name: "void"},
 }
 
 // Analyze resolves names, computes class layouts, classifies
@@ -483,6 +494,33 @@ func (a *analyzer) checkIntrinsic(e *Call, ret Type) (Type, error) {
 	case "__pool_free":
 		if len(e.Args) != 2 {
 			return Type{}, errf(e.Pos, "__pool_free takes (class name, ptr)")
+		}
+		if err := a.classNameArg(e.Args[0]); err != nil {
+			return Type{}, err
+		}
+		if _, err := a.checkExpr(e.Args[1]); err != nil {
+			return Type{}, err
+		}
+	case "__frame_alloc", "__pool_alloc_tl":
+		if len(e.Args) != 1 {
+			return Type{}, errf(e.Pos, "%s takes a class name", e.Func)
+		}
+		if err := a.classNameArg(e.Args[0]); err != nil {
+			return Type{}, err
+		}
+	case "__frame_free", "__pool_free_tl":
+		if len(e.Args) != 2 {
+			return Type{}, errf(e.Pos, "%s takes (class name, ptr)", e.Func)
+		}
+		if err := a.classNameArg(e.Args[0]); err != nil {
+			return Type{}, err
+		}
+		if _, err := a.checkExpr(e.Args[1]); err != nil {
+			return Type{}, err
+		}
+	case "__pool_reserve":
+		if len(e.Args) != 2 {
+			return Type{}, errf(e.Pos, "__pool_reserve takes (class name, count)")
 		}
 		if err := a.classNameArg(e.Args[0]); err != nil {
 			return Type{}, err

@@ -38,6 +38,7 @@ import (
 	"strings"
 
 	"amplify/internal/cc"
+	"amplify/internal/vet"
 )
 
 // Mode selects how deleted-child state is represented.
@@ -70,6 +71,13 @@ type Options struct {
 	ArraysOnly bool
 	// Mode selects shadow pointers (default) or logical-delete flags.
 	Mode Mode
+	// Escape enables the interprocedural escape/lifetime analysis and
+	// the three rewrites it drives: frame promotion of non-escaping
+	// new/delete pairs, lock-free thread-private pools for classes that
+	// never cross a thread boundary, and pool pre-sizing from inferred
+	// allocation bounds. Off by default so the classic §3.2 output is
+	// byte-stable; ignored under ArraysOnly (no pools to drive).
+	Escape bool
 }
 
 func (o Options) excluded(name string) bool {
@@ -101,6 +109,24 @@ type Report struct {
 	// SingleThreaded records that the program never spawns threads, so
 	// the runtime elides pool locks (§5.1).
 	SingleThreaded bool
+
+	// Escape-analysis rewrite results (Options.Escape only).
+	//
+	// EscapeSites counts `new` sites the analysis classified;
+	// FramePromoted counts the new/delete pairs moved to the frame
+	// region. ThreadLocalPools lists classes whose pool operators use
+	// the lock-free thread-private intrinsics. PoolReserves lists the
+	// __pool_reserve pre-sizing calls injected at the top of main.
+	EscapeSites      int
+	FramePromoted    int
+	ThreadLocalPools []string
+	PoolReserves     []ReserveHint
+}
+
+// ReserveHint is one injected pool pre-sizing call.
+type ReserveHint struct {
+	Class string
+	Count int64
 }
 
 // String renders the report for the CLI.
@@ -138,6 +164,20 @@ func (r *Report) String() string {
 		r.DeleteRewrites, r.NewRewrites, r.ArrayNewRewrites, r.ArrayDeleteRewrites)
 	fmt.Fprintf(&b, "  single-threaded: %v (pool locks %s)\n", r.SingleThreaded,
 		map[bool]string{true: "elided", false: "kept"}[r.SingleThreaded])
+	if r.EscapeSites > 0 || r.FramePromoted > 0 {
+		fmt.Fprintf(&b, "  escape analysis:     %d sites, %d frame-promoted\n",
+			r.EscapeSites, r.FramePromoted)
+	}
+	if len(r.ThreadLocalPools) > 0 {
+		fmt.Fprintf(&b, "  thread-private pools: %s\n", strings.Join(r.ThreadLocalPools, ", "))
+	}
+	if len(r.PoolReserves) > 0 {
+		parts := make([]string, 0, len(r.PoolReserves))
+		for _, h := range r.PoolReserves {
+			parts = append(parts, fmt.Sprintf("%s=%d", h.Class, h.Count))
+		}
+		fmt.Fprintf(&b, "  pool pre-sizing:     %s\n", strings.Join(parts, ", "))
+	}
 	return b.String()
 }
 
@@ -185,6 +225,11 @@ type rewriter struct {
 	report *Report
 	// class currently being rewritten (methods only).
 	class *cc.ClassDecl
+	// esc is the interprocedural escape/lifetime analysis over prog
+	// (Options.Escape only). Its promotion maps are keyed by AST node
+	// pointers, so it must be computed on this exact program instance,
+	// before any rewrite mutates the tree.
+	esc *vet.EscapeReport
 }
 
 // shadowName returns the synthesized companion field name for f.
@@ -201,6 +246,12 @@ func (rw *rewriter) amplified(cd *cc.ClassDecl) bool {
 }
 
 func (rw *rewriter) run() error {
+	// The escape analysis must see the untransformed tree: its verdict
+	// maps are keyed by the NewExpr/DeleteStmt nodes it analyzed.
+	if rw.opt.Escape && !rw.opt.ArraysOnly {
+		rw.esc = vet.Escape(rw.prog)
+		rw.report.EscapeSites = len(rw.esc.Sites)
+	}
 	// Order classes deterministically (declaration order).
 	for _, d := range rw.prog.Decls {
 		cd, ok := d.(*cc.ClassDecl)
@@ -237,6 +288,11 @@ func (rw *rewriter) run() error {
 		}
 		rw.class = nil
 	}
+	// The analysis-driven rewrites run after the §3.2 pass: promotion
+	// only touches dedicated-local new/delete pairs and reserve calls
+	// are fresh statements, so the two passes never fight over a node.
+	rw.applyPromotions()
+	rw.injectReserves()
 	rw.report.SingleThreaded = !rw.prog.UsesThreads
 	// Re-analyze so new fields get offsets and new nodes get resolved.
 	return cc.Analyze(rw.prog)
@@ -304,6 +360,14 @@ func (rw *rewriter) addPoolOperators(cd *cc.ClassDecl) {
 		rw.report.Skipped[cd.Name] = "user-defined operator new/delete respected"
 		return
 	}
+	allocFn, freeFn := "__pool_alloc", "__pool_free"
+	if rw.threadLocalPool(cd) {
+		// The escape analysis proved no instance of this class crosses a
+		// thread boundary, so every free happens on the allocating
+		// thread and the pool can drop its per-shard mutex.
+		allocFn, freeFn = "__pool_alloc_tl", "__pool_free_tl"
+		rw.report.ThreadLocalPools = append(rw.report.ThreadLocalPools, cd.Name)
+	}
 	classRef := &cc.Ident{Name: cd.Name}
 	cd.Methods = append(cd.Methods,
 		&cc.Method{
@@ -311,7 +375,7 @@ func (rw *rewriter) addPoolOperators(cd *cc.ClassDecl) {
 			Ret:    cc.Type{Name: "void", Stars: 1},
 			Params: []*cc.Param{{Type: cc.Type{Name: "uint"}, Name: "size"}},
 			Body: &cc.Block{Stmts: []cc.Stmt{
-				&cc.Return{X: &cc.Call{Func: "__pool_alloc", Args: []cc.Expr{classRef}}},
+				&cc.Return{X: &cc.Call{Func: allocFn, Args: []cc.Expr{classRef}}},
 			}},
 			Access:    cc.Public,
 			Class:     cd,
@@ -322,7 +386,7 @@ func (rw *rewriter) addPoolOperators(cd *cc.ClassDecl) {
 			Ret:    cc.Type{Name: "void"},
 			Params: []*cc.Param{{Type: cc.Type{Name: "void", Stars: 1}, Name: "p"}},
 			Body: &cc.Block{Stmts: []cc.Stmt{
-				&cc.ExprStmt{X: &cc.Call{Func: "__pool_free",
+				&cc.ExprStmt{X: &cc.Call{Func: freeFn,
 					Args: []cc.Expr{&cc.Ident{Name: cd.Name}, &cc.Ident{Name: "p"}}}},
 			}},
 			Access:    cc.Public,

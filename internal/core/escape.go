@@ -1,0 +1,159 @@
+// The escape-analysis rewrites (Options.Escape): the interprocedural
+// analysis in internal/vet does not just veto classes, it drives three
+// transformations of its own.
+//
+//   - Frame promotion: a `T* p = new T(...); ... delete p;` pair the
+//     analysis proved non-escaping becomes
+//     `T* p = new(__frame_alloc(T)) T(...); ... __frame_free(T, p);`
+//     — the object lives in the frame region, bypassing operator new,
+//     the pool and the underlying allocator entirely.
+//   - Thread-private pools: classes proven thread-local get pool
+//     operators built on __pool_alloc_tl/__pool_free_tl, dropping the
+//     per-shard mutex even in threaded programs (see addPoolOperators).
+//   - Pool pre-sizing: classes with a finite inferred allocation bound
+//     get a `__pool_reserve(T, n);` call at the top of main, so the
+//     steady state starts from pool hits instead of allocator misses.
+package core
+
+import (
+	"amplify/internal/cc"
+)
+
+// threadLocalPool reports whether a class's synthesized pool operators
+// should use the lock-free thread-private intrinsics. Single-threaded
+// programs keep the classic form — the runtime already elides locks
+// globally there (§5.1), and the classic output stays byte-stable.
+func (rw *rewriter) threadLocalPool(cd *cc.ClassDecl) bool {
+	return rw.esc != nil && rw.prog.UsesThreads && rw.esc.IsThreadLocal(cd.Name)
+}
+
+// framePromotable reports whether objects of a class may be moved to
+// the frame region. Excluded classes keep their exact source semantics,
+// and user-defined operator new/delete must keep observing every
+// allocation — in-place construction would bypass them.
+func (rw *rewriter) framePromotable(class string) bool {
+	cd := rw.prog.Classes[class]
+	if cd == nil || !rw.amplified(cd) {
+		return false
+	}
+	for _, m := range cd.Methods {
+		if !m.Synthetic && (m.Kind == cc.OpNew || m.Kind == cc.OpDelete) {
+			return false
+		}
+	}
+	return true
+}
+
+// applyPromotions rewrites every frame-promotable new/delete pair the
+// analysis approved, in free functions and methods alike. The verdict
+// maps guarantee the pair property: a delete statement appears in
+// promoteDeletes only when every value reaching it comes from the one
+// promoted site, so the two rewrites always travel together.
+func (rw *rewriter) applyPromotions() {
+	if rw.esc == nil {
+		return
+	}
+	for _, d := range rw.prog.Decls {
+		switch d := d.(type) {
+		case *cc.FuncDecl:
+			rw.promoteBlock(d.Body)
+		case *cc.ClassDecl:
+			for _, m := range d.Methods {
+				if m.Synthetic {
+					continue
+				}
+				rw.promoteBlock(m.Body)
+			}
+		}
+	}
+}
+
+func (rw *rewriter) promoteBlock(b *cc.Block) {
+	for i, s := range b.Stmts {
+		b.Stmts[i] = rw.promoteStmt(s)
+	}
+}
+
+func (rw *rewriter) promoteStmt(s cc.Stmt) cc.Stmt {
+	switch s := s.(type) {
+	case *cc.Block:
+		rw.promoteBlock(s)
+	case *cc.If:
+		s.Then = rw.promoteStmt(s.Then)
+		if s.Else != nil {
+			s.Else = rw.promoteStmt(s.Else)
+		}
+	case *cc.While:
+		s.Body = rw.promoteStmt(s.Body)
+	case *cc.For:
+		s.Body = rw.promoteStmt(s.Body)
+	case *cc.VarDecl:
+		ne := plainNew(s.Init)
+		if ne == nil {
+			break
+		}
+		if class, ok := rw.esc.PromoteSite(ne); ok && rw.framePromotable(class) {
+			// T* p = new(__frame_alloc(T)) T(...);
+			ne.Placement = &cc.Call{Func: "__frame_alloc",
+				Args: []cc.Expr{&cc.Ident{Name: class}}}
+			rw.report.FramePromoted++
+		}
+	case *cc.DeleteStmt:
+		if class, ok := rw.esc.PromoteDelete(s); ok && rw.framePromotable(class) {
+			// delete p;  ->  __frame_free(T, p);
+			return &cc.ExprStmt{X: &cc.Call{Func: "__frame_free",
+				Args: []cc.Expr{&cc.Ident{Name: class}, s.X}}, Pos: s.Pos}
+		}
+	}
+	return s
+}
+
+// plainNew unwraps an initializer to a non-placement new expression.
+func plainNew(e cc.Expr) *cc.NewExpr {
+	for {
+		switch x := e.(type) {
+		case *cc.Paren:
+			e = x.X
+		case *cc.NewExpr:
+			if x.Placement != nil {
+				return nil
+			}
+			return x
+		default:
+			return nil
+		}
+	}
+}
+
+// injectReserves prepends `__pool_reserve(T, n);` calls to main for
+// pooled classes with a finite inferred allocation bound. Thread-local
+// classes are skipped: their traffic goes through the thread-private
+// pool, while __pool_reserve pre-populates the standard one — reserving
+// there would create the wrong pool mode for the class.
+func (rw *rewriter) injectReserves() {
+	if rw.esc == nil {
+		return
+	}
+	main := rw.prog.Funcs["main"]
+	if main == nil || main.Body == nil {
+		return
+	}
+	pooled := map[string]bool{}
+	for _, name := range rw.report.Pooled {
+		pooled[name] = true
+	}
+	var calls []cc.Stmt
+	for _, h := range rw.esc.Presize { // sorted by class name
+		cd := rw.prog.Classes[h.Class]
+		if cd == nil || !pooled[h.Class] || rw.threadLocalPool(cd) {
+			continue
+		}
+		calls = append(calls, &cc.ExprStmt{X: &cc.Call{Func: "__pool_reserve",
+			Args: []cc.Expr{&cc.Ident{Name: h.Class}, &cc.IntLit{Value: h.Count}}}})
+		rw.report.PoolReserves = append(rw.report.PoolReserves,
+			ReserveHint{Class: h.Class, Count: h.Count})
+	}
+	if len(calls) > 0 {
+		main.Body.Stmts = append(calls, main.Body.Stmts...)
+	}
+}

@@ -292,6 +292,19 @@ func (m *machine) poolFor(cd *cc.ClassDecl) *pool.ClassPool {
 	return p
 }
 
+// privatePoolFor is poolFor for classes the escape analysis proved
+// thread-local: the pool runs lock-free with one shard per thread. The
+// rewriter routes a class through exactly one of the two modes, so the
+// shared map cannot hold a pool of the wrong kind.
+func (m *machine) privatePoolFor(cd *cc.ClassDecl) *pool.ClassPool {
+	p, ok := m.pools[cd.Name]
+	if !ok {
+		p = m.rt.NewPrivateClassPool(cd.Name, cd.Size)
+		m.pools[cd.Name] = p
+	}
+	return p
+}
+
 // getObject returns the live-or-destroyed object at ref.
 func (m *machine) getObject(pos Pos, ref mem.Ref) *object {
 	if ref == mem.Nil {
@@ -890,6 +903,86 @@ func (m *machine) evalIntrinsic(c *sim.Ctx, f *frame, e *cc.Call) value {
 		p := m.poolFor(cd)
 		if pooled := p.Free(c, v.ref); !pooled {
 			o.state = stFreed
+		}
+		return value{}
+
+	case "__frame_alloc":
+		// Frame promotion (escape analysis): raw storage in the frame
+		// region, handed to placement new in the constructed-pending
+		// state so the constructor runs in place and operator new is
+		// never involved. A reused slot of the same class keeps its old
+		// object record — like pool reuse, so its shadow pointers stay
+		// meaningful and placement new can revive the children.
+		cd := m.prog.Classes[e.Args[0].(*cc.Ident).Name]
+		ref := m.rt.Frame().Alloc(c, cd.Size)
+		if o := m.objects[ref]; o == nil || o.class != cd {
+			o = newObjectRecord(cd)
+			o.state = stDestroyed
+			m.objects[ref] = o
+		}
+		return refVal(ref)
+
+	case "__frame_free":
+		cd := m.prog.Classes[e.Args[0].(*cc.Ident).Name]
+		v := m.eval(c, f, e.Args[1])
+		if v.ref == mem.Nil {
+			return value{}
+		}
+		o := m.liveObject(e.Pos, v.ref)
+		if o.class != cd {
+			panic(rtErr(e.Pos, "__frame_free: %s object given to %s frame slot", o.class.Name, cd.Name))
+		}
+		if dtor := cd.Dtor(); dtor != nil {
+			m.callMethod(c, v.ref, dtor, nil)
+		}
+		// The record stays in the destroyed state (not freed): the slot
+		// returns to the frame free list and the record's fields wait
+		// there for the next same-class allocation, exactly like a
+		// structure sitting in a class pool.
+		o.state = stDestroyed
+		m.rt.Frame().Free(c, cd.Size, v.ref)
+		return value{}
+
+	case "__pool_alloc_tl":
+		cd := m.prog.Classes[e.Args[0].(*cc.Ident).Name]
+		p := m.privatePoolFor(cd)
+		ref, reused := p.Alloc(c)
+		if !reused {
+			m.objects[ref] = newObjectRecord(cd)
+		} else {
+			m.objects[ref].state = stLive
+		}
+		return refVal(ref)
+
+	case "__pool_free_tl":
+		cd := m.prog.Classes[e.Args[0].(*cc.Ident).Name]
+		v := m.eval(c, f, e.Args[1])
+		if v.ref == mem.Nil {
+			return value{}
+		}
+		o := m.getObject(e.Pos, v.ref)
+		if o.class != cd {
+			panic(rtErr(e.Pos, "__pool_free_tl: %s object given to %s pool", o.class.Name, cd.Name))
+		}
+		p := m.privatePoolFor(cd)
+		if pooled := p.Free(c, v.ref); !pooled {
+			o.state = stFreed
+		}
+		return value{}
+
+	case "__pool_reserve":
+		// Pre-size a standard class pool from the statically inferred
+		// allocation bound. Reserved structures sit in the free lists in
+		// the constructed-pending state, exactly as if pooled after use.
+		cd := m.prog.Classes[e.Args[0].(*cc.Ident).Name]
+		n := m.eval(c, f, e.Args[1])
+		if n.i > 0 {
+			p := m.poolFor(cd)
+			for _, ref := range p.Reserve(c, int(n.i)) {
+				o := newObjectRecord(cd)
+				o.state = stDestroyed
+				m.objects[ref] = o
+			}
 		}
 		return value{}
 

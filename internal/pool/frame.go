@@ -1,0 +1,164 @@
+// The escape-analysis rewrites (PR 6) add three runtime mechanisms on
+// top of the §3.2 structure pools:
+//
+//   - a frame region for `new` sites the interprocedural analysis
+//     proved non-escaping: allocation is a pointer bump and free a
+//     free-list push, with no lock, no metadata traffic and no
+//     underlying-allocator involvement at all (the region lives outside
+//     the simulated heap, like a stack frame);
+//   - thread-private class pools for classes proven thread-local:
+//     the per-shard mutex is elided per class, not just when the whole
+//     program is single-threaded;
+//   - pool reservation, which pre-populates a class pool from a
+//     statically inferred allocation bound so the steady state never
+//     pays the underlying allocator's miss path.
+package pool
+
+import (
+	"amplify/internal/mem"
+	"amplify/internal/sim"
+)
+
+// FrameBase is the address base of the frame region. Frame references
+// are deliberately 4 mod 8 so they can never collide with (or be
+// mistaken for) heap references, which the simulated allocators keep
+// 8-aligned.
+const FrameBase = uint64(1) << 44
+
+// FramePathOps is the bookkeeping charge of a frame-region operation:
+// a pointer bump or free-list push, cheaper than even the pool's short
+// path (PathOps).
+const FramePathOps = 2
+
+// FrameRegion serves the frame-promoted allocations of one program
+// run. It never touches the underlying allocator or the simulated
+// heap, so promoted objects contribute nothing to heap footprint.
+//
+// Both the bump space and the free lists are kept per thread: a
+// promoted object is allocated and freed on the same thread by
+// construction (that is what non-escaping means), so same-thread reuse
+// is always possible — and any sharing (a slot migrating between
+// threads, or two threads' slots packed into one cache line by a
+// global bump pointer) would make cache lines ping-pong between
+// processors every iteration, re-introducing exactly the coherence
+// traffic the promotion removes. Each thread therefore bumps inside
+// its own arena, like a real stack.
+type FrameRegion struct {
+	next map[int]uint64
+	free map[frameKey][]mem.Ref
+
+	// Allocs counts frame allocations; Reused counts those served by
+	// reusing a previously freed slot of the same size.
+	Allocs int64
+	Reused int64
+	// LiveBytes and PeakBytes track the region's own occupancy.
+	LiveBytes int64
+	PeakBytes int64
+}
+
+// frameKey addresses one per-thread, per-size free list.
+type frameKey struct {
+	tid  int
+	size int64
+}
+
+// frameArena is the bump space reserved per thread; thread t's slots
+// live in [FrameBase + t*frameArena, FrameBase + (t+1)*frameArena).
+const frameArena = uint64(1) << 24
+
+// Frame returns the runtime's frame region, creating it on first use.
+func (r *Runtime) Frame() *FrameRegion {
+	if r.frame == nil {
+		r.frame = &FrameRegion{next: map[int]uint64{}, free: map[frameKey][]mem.Ref{}}
+	}
+	return r.frame
+}
+
+// Alloc takes a frame slot for an object of the given size, preferring
+// a slot this thread freed earlier.
+func (f *FrameRegion) Alloc(c *sim.Ctx, size int64) mem.Ref {
+	c.Work(FramePathOps)
+	f.Allocs++
+	f.LiveBytes += size
+	if f.LiveBytes > f.PeakBytes {
+		f.PeakBytes = f.LiveBytes
+	}
+	tid := c.ThreadID()
+	key := frameKey{tid, size}
+	if lst := f.free[key]; len(lst) > 0 {
+		ref := lst[len(lst)-1]
+		f.free[key] = lst[:len(lst)-1]
+		f.Reused++
+		return ref
+	}
+	next, ok := f.next[tid]
+	if !ok {
+		next = FrameBase + uint64(tid)*frameArena + 4
+	}
+	ref := mem.Ref(next)
+	// Slots advance by a multiple of 8, so every frame reference stays
+	// congruent to FrameBase+4 and distinct from heap references.
+	f.next[tid] = next + uint64((size+7)&^7)
+	return ref
+}
+
+// Free returns a frame slot of the given size to the freeing thread's
+// list.
+func (f *FrameRegion) Free(c *sim.Ctx, size int64, ref mem.Ref) {
+	c.Work(FramePathOps)
+	f.LiveBytes -= size
+	key := frameKey{c.ThreadID(), size}
+	f.free[key] = append(f.free[key], ref)
+}
+
+// NewPrivateClassPool registers a lock-free thread-private pool: one
+// unlocked shard per thread, used for classes the escape analysis
+// proved thread-local. Because no instance of such a class crosses a
+// thread boundary, every free happens on the allocating thread and the
+// per-shard mutex (and its cache-line traffic) can be dropped even in
+// a threaded program.
+func (r *Runtime) NewPrivateClassPool(class string, size int64) *ClassPool {
+	p := &ClassPool{rt: r, class: class, size: size, private: true}
+	p.metaBase = r.metaRegion()
+	for i := 0; i < r.cfg.Shards; i++ {
+		p.sh = append(p.sh, &shard{metaAddr: p.metaBase + uint64(i)*16})
+	}
+	r.pools = append(r.pools, p)
+	return p
+}
+
+// Private reports whether the pool runs in lock-free thread-private
+// mode.
+func (p *ClassPool) Private() bool { return p.private }
+
+// Reserve pre-populates the pool with n structures from the underlying
+// allocator, spread round-robin over the shards, and returns their
+// references so the engine can install object records for them. The
+// one-time cost is charged to the calling context (the top of main);
+// afterwards the steady state starts from pool hits instead of paying
+// the allocator's miss path at first use. When MaxObjects is set, the
+// reservation is capped so no shard starts over its limit.
+func (p *ClassPool) Reserve(c *sim.Ctx, n int) []mem.Ref {
+	if p.rt.cfg.MaxObjects > 0 {
+		if limit := p.rt.cfg.MaxObjects * len(p.sh); n > limit {
+			n = limit
+		}
+	}
+	refs := make([]mem.Ref, 0, n)
+	for i := 0; i < n; i++ {
+		ref := p.rt.under.Alloc(c, p.size)
+		// Single-threaded programs only ever probe shard 0, so the whole
+		// reservation goes there; threaded ones spread it round-robin
+		// (the miss path checks the other shards, see Alloc).
+		s := p.sh[0]
+		if !p.rt.cfg.SingleThreaded {
+			s = p.sh[i%len(p.sh)]
+		}
+		c.Write(uint64(ref), 8)
+		c.Write(s.metaAddr, 8)
+		s.free = append(s.free, ref)
+		p.Reserved++
+		refs = append(refs, ref)
+	}
+	return refs
+}

@@ -77,6 +77,7 @@ type Runtime struct {
 	under       alloc.Allocator
 	pools       []*ClassPool
 	metaCounter uint64
+	frame       *FrameRegion
 
 	// ShadowReuses counts array allocations served by reusing shadowed
 	// memory; ShadowMisses counts those that had to reallocate.
@@ -105,6 +106,10 @@ type ClassPool struct {
 	class string
 	size  int64
 	sh    []*shard
+	// private marks lock-free thread-private pools (frame.go): one
+	// unlocked shard per thread, grown on demand.
+	private  bool
+	metaBase uint64
 
 	// Hits counts allocations served from a free list; Misses counts
 	// fallbacks to the underlying allocator.
@@ -116,6 +121,8 @@ type ClassPool struct {
 	// Steals counts hits served from another thread's shard
 	// (Config.StealShards).
 	Steals int64
+	// Reserved counts structures pre-allocated by Reserve.
+	Reserved int64
 }
 
 type shard struct {
@@ -169,6 +176,15 @@ func (p *ClassPool) Size() int64 { return p.size }
 // that static spreading by thread id suffices (§5.1 discusses exactly
 // this observation).
 func (p *ClassPool) shardFor(c *sim.Ctx) *shard {
+	if p.private {
+		// Thread-private mode: exactly one unlocked shard per thread,
+		// grown on demand so late-spawned threads get their own.
+		tid := c.ThreadID()
+		for tid >= len(p.sh) {
+			p.sh = append(p.sh, &shard{metaAddr: p.metaBase + uint64(len(p.sh))*16})
+		}
+		return p.sh[tid]
+	}
 	return p.sh[c.ThreadID()%len(p.sh)]
 }
 
@@ -201,7 +217,12 @@ func (p *ClassPool) Alloc(c *sim.Ctx) (ref mem.Ref, reused bool) {
 	if s.lock != nil {
 		s.lock.Unlock(c)
 	}
-	if p.rt.cfg.StealShards {
+	// A pre-sized pool (Reserve) treats the reservation as shared
+	// capacity: the structures were spread round-robin over the shards,
+	// so a thread whose own shard ran dry checks the others (with the
+	// steal path's full lock and metadata charges) before paying the
+	// underlying allocator.
+	if (p.rt.cfg.StealShards || p.Reserved > 0) && !p.private {
 		if ref, ok := p.steal(c, s); ok {
 			p.Hits++
 			p.Steals++

@@ -1,4 +1,4 @@
-package vet
+package vet_test
 
 import (
 	"sort"
@@ -8,6 +8,7 @@ import (
 	"amplify/internal/core"
 	"amplify/internal/interp"
 	"amplify/internal/mccgen"
+	"amplify/internal/vet"
 )
 
 // sortedLines canonicalizes multi-threaded output (see the identical
@@ -18,7 +19,7 @@ func sortedLines(s string) string {
 	return strings.Join(lines, "\n")
 }
 
-func hasCode(res *Result, code string) bool {
+func hasCode(res *vet.Result, code string) bool {
 	for _, d := range res.Diags {
 		if d.Code == code {
 			return true
@@ -48,7 +49,7 @@ func TestVetCleanProgramsPreserveBehavior(t *testing.T) {
 			cfg.Threads = 3
 		}
 		src := mccgen.Generate(cfg)
-		res, err := CheckSource(src)
+		res, err := vet.CheckSource(src)
 		if err != nil {
 			t.Fatalf("seed %d: vet failed: %v\n%s", seed, err, src)
 		}
@@ -67,7 +68,7 @@ func TestVetCleanProgramsPreserveBehavior(t *testing.T) {
 				t.Fatalf("seed %d %s: transformed run failed: %v", seed, m.name, err)
 			}
 			diverged := sortedLines(got.Output) != want || got.ExitCode != plain.ExitCode
-			if diverged && !hasCode(res, CodeUseAfterDelete) {
+			if diverged && !hasCode(res, vet.CodeUseAfterDelete) {
 				t.Fatalf("seed %d %s: behavior diverged on a program vet did not flag with V002\nvet:\n%splain:\n%s\ntransformed output:\n%s",
 					seed, m.name, res.String(), plain.Output, got.Output)
 			}
@@ -129,11 +130,11 @@ int main() {
 // divergence the differential test above guards against, and pins that
 // vet predicts it.
 func TestUseAfterDeleteDivergenceIsFlagged(t *testing.T) {
-	res, err := CheckSource(divergingSrc)
+	res, err := vet.CheckSource(divergingSrc)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !hasCode(res, CodeUseAfterDelete) {
+	if !hasCode(res, vet.CodeUseAfterDelete) {
 		t.Fatalf("V002 not reported:\n%s", res.String())
 	}
 	excl := res.Ineligible()

@@ -36,13 +36,18 @@ type astate struct {
 	fields map[string]pmask
 	locals map[string]pmask
 	alias  map[string]string
+	// spawned records locals handed to a spawned thread and not yet
+	// separated from it by a join: deleting them is a cross-thread
+	// use-after-delete hazard (V007).
+	spawned map[string]string // local -> spawned function
 }
 
 func newState() *astate {
 	return &astate{
-		fields: map[string]pmask{},
-		locals: map[string]pmask{},
-		alias:  map[string]string{},
+		fields:  map[string]pmask{},
+		locals:  map[string]pmask{},
+		alias:   map[string]string{},
+		spawned: map[string]string{},
 	}
 }
 
@@ -56,6 +61,9 @@ func (s *astate) clone() *astate {
 	}
 	for k, v := range s.alias {
 		c.alias[k] = v
+	}
+	for k, v := range s.spawned {
+		c.spawned[k] = v
 	}
 	return c
 }
@@ -83,6 +91,12 @@ func merge(dst, src *astate) bool {
 			changed = true
 		case dv != v && dv != "":
 			dst.alias[k] = "" // conflicting aliases: tombstone
+			changed = true
+		}
+	}
+	for k, v := range src.spawned {
+		if _, ok := dst.spawned[k]; !ok {
+			dst.spawned[k] = v
 			changed = true
 		}
 	}
@@ -339,10 +353,25 @@ func (a *fa) transfer(st *astate, ins instr) {
 	case *cc.Spawn:
 		for _, arg := range s.Args {
 			v := a.eval(st, arg)
+			if v.m.has(stDeleted) {
+				name := v.field
+				if name == "" {
+					name = v.local
+				}
+				a.c.emit(CodeCrossThreadUAD, cc.ExprPos(arg), "", a.ctx.name(), name,
+					fmt.Sprintf("%s hands a possibly deleted pointer to spawned function %s; the new thread would use freed memory (cross-thread use-after-delete)", a.ctx.name(), s.Func))
+			}
 			a.argEscape(st, v, cc.ExprPos(arg), "spawned function "+s.Func)
+			if v.local != "" {
+				st.spawned[v.local] = s.Func
+			}
 		}
 	case *cc.Join:
-		// Barrier only; no pointer effects.
+		// Barrier: every spawned thread has finished, so hand-offs are
+		// no longer live.
+		for k := range st.spawned {
+			delete(st.spawned, k)
+		}
 	}
 }
 
@@ -354,7 +383,9 @@ func (a *fa) classPointerField(name string) bool {
 	return ok && f.Type.IsClassPointer(a.c.prog.Classes)
 }
 
-// setLocal strong-updates a pointer local.
+// setLocal strong-updates a pointer local. Reassigning a local also
+// ends its spawn hand-off: the variable no longer names the value the
+// spawned thread holds.
 func (a *fa) setLocal(st *astate, name string, v aval) {
 	m := v.m
 	if v.fromNew {
@@ -362,6 +393,7 @@ func (a *fa) setLocal(st *astate, name string, v aval) {
 	}
 	st.locals[name] = m
 	st.alias[name] = v.field
+	delete(st.spawned, name)
 }
 
 // moveOwnership marks a local's fresh allocation as handed off, so it
@@ -429,6 +461,10 @@ func (a *fa) transferDelete(st *astate, s *cc.DeleteStmt) {
 		if old.has(stDeleted) {
 			a.c.emit(CodeDoubleDelete, s.Pos, "", a.ctx.name(), v.local,
 				fmt.Sprintf("%s deletes local %s which may already be deleted (double delete)", a.ctx.name(), v.local))
+		}
+		if fn, handed := st.spawned[v.local]; handed {
+			a.c.emit(CodeCrossThreadUAD, s.Pos, "", a.ctx.name(), v.local,
+				fmt.Sprintf("%s deletes local %s while spawned function %s may still use it; no join separates the hand-off from the delete (cross-thread use-after-delete)", a.ctx.name(), v.local, fn))
 		}
 		if !old.only(stNull) {
 			st.locals[v.local] = stDeleted

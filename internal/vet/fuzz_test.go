@@ -1,6 +1,10 @@
 package vet
 
 import (
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
 	"testing"
 
 	"amplify/internal/cc"
@@ -53,5 +57,79 @@ func FuzzVet(f *testing.F) {
 				t.Errorf("malformed exclusion %+v", e)
 			}
 		}
+		// The interprocedural layer must hold the same invariants: a
+		// verdict for every site, valid positions, renderable output.
+		rep := Escape(prog)
+		for _, s := range rep.Sites {
+			if s.Class == "" || s.Func == "" || s.Pos.Line < 1 || s.Pos.Col < 1 {
+				t.Errorf("malformed escape site %+v", s)
+			}
+			if s.Escape != EscNone && s.Escape != EscThread && s.Escape != EscShared {
+				t.Errorf("escape site with unknown class %+v", s)
+			}
+			if !s.Promote && s.Reason == "" {
+				t.Errorf("unpromoted site without a reason: %+v", s)
+			}
+		}
+		for _, d := range rep.Diags {
+			if d.Severity != codeSeverity[d.Code] {
+				t.Errorf("escape severity mismatch for %s: %+v", d.Code, d)
+			}
+		}
+		_ = rep.String()
+		if _, err := rep.JSON("fuzz"); err != nil {
+			t.Errorf("escape report JSON failed: %v", err)
+		}
 	})
+}
+
+// TestFuzzCorpusSeeds pins the committed corpus under
+// testdata/fuzz/FuzzVet: every vNNN-* file must be a valid `go test
+// fuzz v1` input whose program fires the diagnostic named by its file
+// name — so the seeds stay honest reproducers as the analyzer evolves.
+func TestFuzzCorpusSeeds(t *testing.T) {
+	dir := filepath.Join("testdata", "fuzz", "FuzzVet")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := 0
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, "v0") {
+			continue
+		}
+		code := strings.ToUpper(name[:4]) // v001-... -> V001
+		raw, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		lines := strings.SplitN(strings.TrimSpace(string(raw)), "\n", 2)
+		if len(lines) != 2 || lines[0] != "go test fuzz v1" {
+			t.Fatalf("%s: not a go fuzz v1 corpus file", name)
+		}
+		quoted := strings.TrimSuffix(strings.TrimPrefix(lines[1], "string("), ")")
+		src, err := strconv.Unquote(quoted)
+		if err != nil {
+			t.Fatalf("%s: bad corpus encoding: %v", name, err)
+		}
+		res, err := CheckSource(src)
+		if err != nil {
+			t.Fatalf("%s: program no longer parses: %v", name, err)
+		}
+		found := false
+		for _, d := range res.Diags {
+			if d.Code == code {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: diagnostic %s no longer fires:\n%s", name, code, res.String())
+		}
+		seen++
+	}
+	if seen != 8 {
+		t.Fatalf("want 8 committed V001-V008 reproducers, found %d", seen)
+	}
 }

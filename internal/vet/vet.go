@@ -12,7 +12,13 @@
 // abstract-interpretation dataflow (flow.go) over the states of
 // pointer-typed fields and locals — uninitialized, null, freshly
 // allocated, deleted, unknown — joined as a powerset lattice at merge
-// points. Six defect classes are reported:
+// points. On top of the per-function layer an interprocedural
+// escape/lifetime analysis (escape.go) builds the program call graph —
+// spawn edges included — and classifies every `new` site as
+// non-escaping, thread-local or shared; its verdicts both drive the
+// optimizer (frame promotion, thread-private pools, pool pre-sizing,
+// see core.Options.Escape) and contribute three more defect classes.
+// Nine defect classes are reported:
 //
 //	V001 ctor-uninit       a constructor path leaves a pointer field
 //	                       unassigned: structure reuse would expose a
@@ -40,10 +46,23 @@
 //	                       deleted by any method, or held by a local at
 //	                       return); warning only — pooling bounds, not
 //	                       worsens, such growth
+//	V007 cross-thread-use-after-delete  a pointer is deleted on one
+//	                       side of a spawn hand-off while the other
+//	                       side may still use it: under pooling the
+//	                       slot can be recycled concurrently
+//	V008 interproc-leak    an allocation escapes its creating function
+//	                       and no caller path ever deletes it — the
+//	                       per-function leak check (V006) cannot see
+//	                       this; warning only
+//	V009 escape-blocked    advisory: why a new site was not
+//	                       frame-promoted (escapes via return, field
+//	                       store, spawn, unbounded lifetime, ...)
 //
 // V001–V005 are errors and carry a class-level verdict: Eligibility
 // folds them into the set of classes the pre-processor must
-// auto-exclude. V006 is a warning and does not affect eligibility.
+// auto-exclude. V007 is an error too but names the offending hand-off,
+// not a class. V006 and V008 are warnings and do not affect
+// eligibility; V009 is informational.
 package vet
 
 import (
@@ -60,9 +79,12 @@ type Severity int
 
 // Severities.
 const (
+	// Info marks purely advisory findings (the escape-blocked promotion
+	// reports of the interprocedural layer); they never gate anything.
+	Info Severity = iota
 	// Warning marks findings that do not make a class ineligible for
 	// amplification (leaks: pooling can only bound them).
-	Warning Severity = iota
+	Warning
 	// Error marks findings that make the transform unsound or
 	// semantics-diverging for the class involved.
 	Error
@@ -70,10 +92,13 @@ const (
 
 // String names the severity.
 func (s Severity) String() string {
-	if s == Error {
+	switch s {
+	case Error:
 		return "error"
+	case Warning:
+		return "warning"
 	}
-	return "warning"
+	return "info"
 }
 
 // Diagnostic codes.
@@ -84,6 +109,15 @@ const (
 	CodeAliasDelete    = "V004"
 	CodeFieldEscape    = "V005"
 	CodeLeak           = "V006"
+	// CodeCrossThreadUAD: a pointer is deleted on one side of a spawn
+	// hand-off while the other side may still use it.
+	CodeCrossThreadUAD = "V007"
+	// CodeInterprocLeak: an allocation escapes its creating function and
+	// no caller path ever deletes it.
+	CodeInterprocLeak = "V008"
+	// CodeEscapeBlocked: an info-level report explaining why a new site
+	// was not frame-promoted by the escape analysis.
+	CodeEscapeBlocked = "V009"
 )
 
 // codeNames are the short names used in eligibility reasons.
@@ -94,6 +128,9 @@ var codeNames = map[string]string{
 	CodeAliasDelete:    "alias-delete",
 	CodeFieldEscape:    "field-escape",
 	CodeLeak:           "leak",
+	CodeCrossThreadUAD: "cross-thread-use-after-delete",
+	CodeInterprocLeak:  "interproc-leak",
+	CodeEscapeBlocked:  "escape-blocked",
 }
 
 // codeSeverity maps every code to its severity.
@@ -104,6 +141,9 @@ var codeSeverity = map[string]Severity{
 	CodeAliasDelete:    Error,
 	CodeFieldEscape:    Error,
 	CodeLeak:           Warning,
+	CodeCrossThreadUAD: Error,
+	CodeInterprocLeak:  Warning,
+	CodeEscapeBlocked:  Info,
 }
 
 // Diag is one analyzer finding.
@@ -143,12 +183,14 @@ func (r *Result) HasErrors() bool {
 	return false
 }
 
-// Counts returns the number of errors and warnings.
+// Counts returns the number of errors and warnings (info-level
+// findings are counted in neither).
 func (r *Result) Counts() (errors, warnings int) {
 	for _, d := range r.Diags {
-		if d.Severity == Error {
+		switch d.Severity {
+		case Error:
 			errors++
-		} else {
+		case Warning:
 			warnings++
 		}
 	}
@@ -222,8 +264,20 @@ func Check(prog *cc.Program) *Result {
 			}
 		}
 	}
-	sort.Slice(c.diags, func(i, j int) bool {
-		a, b := c.diags[i], c.diags[j]
+	// The interprocedural layer contributes V008: allocations that
+	// escape their creating function with no reachable delete on any
+	// caller path.
+	c.diags = append(c.diags, runEscape(prog).leakDiags()...)
+	sortDiags(c.diags)
+	return &Result{Diags: c.diags}
+}
+
+// sortDiags orders diagnostics by position, then code, field and
+// message, so every rendered or serialized diagnostic list is
+// byte-stable across runs.
+func sortDiags(diags []Diag) {
+	sort.SliceStable(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
 		if a.Pos.Line != b.Pos.Line {
 			return a.Pos.Line < b.Pos.Line
 		}
@@ -238,7 +292,6 @@ func Check(prog *cc.Program) *Result {
 		}
 		return a.Msg < b.Msg
 	})
-	return &Result{Diags: c.diags}
 }
 
 // CheckSource parses, analyzes and checks MiniCC source.

@@ -731,6 +731,57 @@ func (c *compiler) intrinsic(e *cc.Call) error {
 		c.emit(OpPoolFree, id, 0)
 		c.emit(OpNull, 0, 0)
 		return nil
+	case "__frame_alloc":
+		id, err := c.classIdx(e.Args[0].(*cc.Ident).Name)
+		if err != nil {
+			return err
+		}
+		at := c.emit(OpFrameAlloc, id, 0)
+		c.code[at].C = c.site(e.Pos)
+		return nil
+	case "__frame_free":
+		id, err := c.classIdx(e.Args[0].(*cc.Ident).Name)
+		if err != nil {
+			return err
+		}
+		if err := c.expr(e.Args[1]); err != nil {
+			return err
+		}
+		c.emit(OpFrameFree, id, 0)
+		c.emit(OpNull, 0, 0)
+		return nil
+	case "__pool_alloc_tl":
+		id, err := c.classIdx(e.Args[0].(*cc.Ident).Name)
+		if err != nil {
+			return err
+		}
+		// B=1 selects the lock-free thread-private pool mode.
+		at := c.emit(OpPoolAlloc, id, 1)
+		c.code[at].C = c.site(e.Pos)
+		return nil
+	case "__pool_free_tl":
+		id, err := c.classIdx(e.Args[0].(*cc.Ident).Name)
+		if err != nil {
+			return err
+		}
+		if err := c.expr(e.Args[1]); err != nil {
+			return err
+		}
+		c.emit(OpPoolFree, id, 1)
+		c.emit(OpNull, 0, 0)
+		return nil
+	case "__pool_reserve":
+		id, err := c.classIdx(e.Args[0].(*cc.Ident).Name)
+		if err != nil {
+			return err
+		}
+		if err := c.expr(e.Args[1]); err != nil {
+			return err
+		}
+		at := c.emit(OpPoolReserve, id, 0)
+		c.code[at].C = c.site(e.Pos)
+		c.emit(OpNull, 0, 0)
+		return nil
 	case "realloc":
 		if err := c.expr(e.Args[0]); err != nil {
 			return err

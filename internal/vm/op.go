@@ -116,6 +116,16 @@ const (
 	// (fused OpLoadLocal windows feeding an OpCall).
 	OpCallL1
 	OpCallL2
+
+	// Escape-analysis runtime ops (PR 6). OpFrameAlloc pushes a frame-
+	// region slot for class A in the constructed-pending state
+	// (__frame_alloc); OpFrameFree pops a reference, runs class A's
+	// destructor and returns the slot (__frame_free). Thread-private
+	// pool traffic reuses OpPoolAlloc/OpPoolFree with B=1. OpPoolReserve
+	// pops a count and pre-populates class A's pool (__pool_reserve).
+	OpFrameAlloc
+	OpFrameFree
+	OpPoolReserve
 )
 
 var opNames = [...]string{
@@ -137,6 +147,7 @@ var opNames = [...]string{
 	OpRealloc: "realloc", OpShadowSave: "shsave",
 	OpLoadLocalField: "loadlf", OpAddConst: "addc",
 	OpCallL1: "calll1", OpCallL2: "calll2",
+	OpFrameAlloc: "falloc", OpFrameFree: "ffree", OpPoolReserve: "preserve",
 }
 
 // String names the opcode.
@@ -166,7 +177,8 @@ func (i Instr) String() string {
 	switch i.Op {
 	case OpConst, OpLoadLocal, OpStoreLocal, OpLoadField, OpStoreField,
 		OpJmp, OpJmpFalse, OpJmpTrue, OpNewArray, OpDtor, OpPrint,
-		OpPoolAlloc, OpPoolFree, OpAddConst:
+		OpPoolAlloc, OpPoolFree, OpAddConst,
+		OpFrameAlloc, OpFrameFree, OpPoolReserve:
 		s = fmt.Sprintf("%-8s %d", i.Op, i.A)
 	case OpCall, OpMethod, OpNew, OpPlacementNew, OpSpawn,
 		OpLoadLocalField, OpCallL1, OpCallL2:

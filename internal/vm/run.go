@@ -344,6 +344,19 @@ func (m *machine) poolFor(ci *classInfo) *pool.ClassPool {
 	return pl
 }
 
+// privatePoolFor is poolFor in lock-free thread-private mode, used for
+// classes the escape analysis proved thread-local (OpPoolAlloc/
+// OpPoolFree with B=1). The rewriter routes each class through exactly
+// one mode, so the shared table never holds a pool of the wrong kind.
+func (m *machine) privatePoolFor(ci *classInfo) *pool.ClassPool {
+	pl := m.pools[ci.id]
+	if pl == nil {
+		pl = m.rt.NewPrivateClassPool(ci.decl.Name, ci.decl.Size)
+		m.pools[ci.id] = pl
+	}
+	return pl
+}
+
 // objSlot resolves an object reference through the per-opcode cache,
 // then the handle table. Destroyed-but-not-freed objects pass (field
 // access on a destroyed object mirrors still-owned memory); freed ones
@@ -680,7 +693,12 @@ loop:
 			}
 		case OpPoolAlloc:
 			ci := m.p.classes[ins.A]
-			pl := m.poolFor(ci)
+			var pl *pool.ClassPool
+			if ins.B == 1 {
+				pl = m.privatePoolFor(ci)
+			} else {
+				pl = m.poolFor(ci)
+			}
 			m.flushWork(c)
 			ref, reused := pl.Alloc(c)
 			if reused {
@@ -704,11 +722,66 @@ loop:
 				m.fail("__pool_free: %s object given to %s pool", s.class.decl.Name, ci.decl.Name)
 			}
 			m.flushWork(c)
-			if pooled := m.poolFor(ci).Free(c, v.ref); !pooled {
+			var fpl *pool.ClassPool
+			if ins.B == 1 {
+				fpl = m.privatePoolFor(ci)
+			} else {
+				fpl = m.poolFor(ci)
+			}
+			if pooled := fpl.Free(c, v.ref); !pooled {
 				s.state = stFreed
 			}
 			if m.hp != nil {
 				m.hp.Free(c.ThreadID(), v.ref)
+			}
+		case OpFrameAlloc:
+			// Frame promotion (__frame_alloc): a constructed-pending slot
+			// in the frame region. The region is outside the simulated
+			// heap, so the heap profiler never sees promoted objects. A
+			// reused same-class slot keeps its old object record — like
+			// pool reuse, so its shadow pointers stay meaningful and
+			// placement new can revive the children.
+			ci := m.p.classes[ins.A]
+			m.flushWork(c)
+			ref := m.rt.Frame().Alloc(c, ci.decl.Size)
+			s := m.h.ensure(ref)
+			if s.kind != hObj || s.class != ci {
+				s.setObject(ci)
+			}
+			s.state = stDestroyed
+			stack = append(stack, rv(ref))
+		case OpFrameFree:
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			ci := m.p.classes[ins.A]
+			if v.ref == mem.Nil {
+				break
+			}
+			s := m.liveSlot(v.ref, &m.cMisc)
+			if s.class != ci {
+				m.fail("__frame_free: %s object given to %s frame slot", s.class.decl.Name, ci.decl.Name)
+			}
+			// runDtor leaves the slot destroyed, not freed: the record's
+			// fields wait on the frame free list for the next same-class
+			// allocation, exactly like a structure sitting in a pool.
+			m.runDtor(c, s, v.ref)
+			m.flushWork(c)
+			m.rt.Frame().Free(c, ci.decl.Size, v.ref)
+		case OpPoolReserve:
+			// Pool pre-sizing (__pool_reserve). Reserved structures stay
+			// pool-internal until first use; the heap profiler records
+			// their birth at the OpPoolAlloc that pops them.
+			n := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			ci := m.p.classes[ins.A]
+			if n.i > 0 {
+				pl := m.poolFor(ci)
+				m.flushWork(c)
+				for _, ref := range pl.Reserve(c, int(n.i)) {
+					s := m.h.ensure(ref)
+					s.setObject(ci)
+					s.state = stDestroyed
+				}
 			}
 		case OpRealloc:
 			n := stack[len(stack)-1]
