@@ -75,6 +75,8 @@ func run() error {
 	jobs := flag.Int("j", runtime.NumCPU(), "max concurrent simulations")
 	jsonOut := flag.Bool("json", false, "emit machine-readable report on stdout")
 	noOpt := flag.Bool("no-opt", false, "disable the VM bytecode optimizer (identical simulated results, slower host)")
+	engine := flag.String("engine", "", "VM execution engine for MiniCC experiments: switch (default) | closure; identical simulated results, different host wall-clock")
+	hostBench := flag.Bool("host-bench", false, "run the host-side Go benchmarks (VM engines, scheduler) and emit a BENCH_host JSON report on stdout; no simulation experiments are run")
 	traceDir := flag.String("trace-dir", "", "export trace/profile/metrics artifacts into this directory")
 	heapDir := flag.String("heap-dir", "", "export heap timeline/site-profile/summary artifacts into this directory")
 	compare := flag.Bool("compare", false, "diff two bench reports: amplifybench -compare baseline.json current.json")
@@ -88,6 +90,16 @@ func run() error {
 			return fmt.Errorf("-compare needs exactly two report files: baseline.json current.json")
 		}
 		return runCompare(flag.Arg(0), flag.Arg(1), *threshold)
+	}
+
+	if *hostBench {
+		return runHostBench()
+	}
+
+	switch *engine {
+	case "", "switch", "closure":
+	default:
+		return fmt.Errorf("unknown engine %q (want switch or closure)", *engine)
 	}
 
 	names := append(bench.Names(), "endtoend")
@@ -111,9 +123,10 @@ func run() error {
 	r := bench.NewRunner(*quick)
 	r.Jobs = *jobs
 	r.VMNoOpt = *noOpt
+	r.Engine = *engine
 	var todo []string
 	if *exp == "all" {
-		todo = []string{"table1", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "claims", "memory", "pipeline", "sensitivity", "escape", "endtoend"}
+		todo = []string{"table1", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "claims", "memory", "pipeline", "sensitivity", "escape", "scale", "endtoend"}
 	} else {
 		todo = strings.Split(*exp, ",")
 	}

@@ -7,6 +7,10 @@
 // Flags:
 //
 //	-alloc s      C-library allocator: serial | ptmalloc | hoard | smartheap
+//	-engine e     execution engine: vm (bytecode dispatch loop, default) |
+//	              closure (bytecode compiled to chained Go closures —
+//	              identical simulated results, faster host) | ast
+//	              (tree-walking reference)
 //	-procs n      simulated processors (default 8)
 //	-amplify      run the Amplify pre-processor before executing
 //	-arrays-only  with -amplify: only shadow data-type arrays
@@ -87,7 +91,7 @@ func main() {
 // non-zero instead of silently reporting the program's status.
 func run() (int, error) {
 	allocName := flag.String("alloc", "serial", "allocator: serial | ptmalloc | hoard | smartheap | lkmalloc")
-	engine := flag.String("engine", "vm", "execution engine: vm (compiled bytecode) | ast (tree-walking)")
+	engine := flag.String("engine", "vm", "execution engine: vm (bytecode dispatch loop) | closure (bytecode compiled to chained Go closures) | ast (tree-walking)")
 	procs := flag.Int("procs", 8, "simulated processors")
 	amplify := flag.Bool("amplify", false, "pre-process with Amplify before running")
 	arraysOnly := flag.Bool("arrays-only", false, "with -amplify: only shadow data arrays")
@@ -155,8 +159,8 @@ func run() (int, error) {
 		{"-heap-timeline", *heapTimeline},
 		{"-heap-profile", *heapProfile},
 	} {
-		if f.val != "" && *engine != "vm" {
-			return 0, fmt.Errorf("%s needs -engine vm (the ast engine has no observer hooks)", f.name)
+		if f.val != "" && *engine == "ast" {
+			return 0, fmt.Errorf("%s needs -engine vm or closure (the ast engine has no observer hooks)", f.name)
 		}
 	}
 	needEvents := *traceOut != "" || *traceJSONL != "" || *profileOut != ""
@@ -191,8 +195,11 @@ func run() (int, error) {
 		}
 		res = runResult{r.Output, r.ExitCode, r.Makespan, r.Alloc,
 			r.PoolHits, r.PoolMisses, r.ShadowReuses, r.Sim, r.Footprint}
-	case "vm":
+	case "vm", "closure":
 		vcfg := vm.Config{Processors: *procs, Strategy: *allocName, NoOpt: *noOpt}
+		if *engine == "closure" {
+			vcfg.Engine = "closure"
+		}
 		if rec != nil {
 			vcfg.Tracer = rec
 		}
@@ -214,7 +221,7 @@ func run() (int, error) {
 		res = runResult{r.Output, r.ExitCode, r.Makespan, r.Alloc,
 			r.PoolHits, r.PoolMisses, r.ShadowReuses, r.Sim, r.Footprint}
 	default:
-		return 0, fmt.Errorf("unknown engine %q (want vm or ast)", *engine)
+		return 0, fmt.Errorf("unknown engine %q (want vm, closure or ast)", *engine)
 	}
 	if rec != nil && *trace > 0 {
 		fmt.Fprint(os.Stderr, rec.Timeline())

@@ -51,6 +51,12 @@ type Runner struct {
 	// not change — CI diffs the two reports' makespans — only host
 	// wall-clock does.
 	VMNoOpt bool
+	// Engine selects the VM execution engine for those same
+	// experiments: "" or "switch" for the dispatch-loop interpreter,
+	// "closure" for the closure-compiled backend. Like VMNoOpt it must
+	// never change simulated results — CI runs the corpus under both
+	// engines and diffs the makespans exactly.
+	Engine string
 
 	quick bool
 	cells cellStore
@@ -459,7 +465,7 @@ func (r *Runner) Claims() (string, error) {
 
 // Names lists the experiment identifiers accepted by Run.
 func Names() []string {
-	names := []string{"table1", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "claims", "memory", "pipeline", "sensitivity", "escape"}
+	names := []string{"table1", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "claims", "memory", "pipeline", "sensitivity", "escape", "scale"}
 	sort.Strings(names)
 	return names
 }
@@ -503,6 +509,8 @@ func (r *Runner) Run(name string) (string, error) {
 		return r.Sensitivity()
 	case "escape":
 		return r.Escape()
+	case "scale":
+		return r.Scale()
 	case "endtoend":
 		return r.EndToEnd()
 	default:

@@ -160,7 +160,7 @@ func (r *Runner) runEscapeCell(w escWorkload, escape bool) (e2eResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := vm.RunSource(out, vm.Config{NoOpt: r.VMNoOpt})
+		res, err := vm.RunSource(out, vm.Config{NoOpt: r.VMNoOpt, Engine: r.Engine})
 		if err != nil {
 			return nil, err
 		}

@@ -15,9 +15,10 @@ import (
 // the unified metrics registry snapshot (Metrics); version 3 added the
 // per-cell heap map (Heap) and per-experiment heap headlines; version
 // 4 adds the escape-analysis verdict section (Escape) stamped by the
-// escape experiment; the simulated makespans are unchanged from
-// version 1.
-const ReportSchema = "amplify-bench/4"
+// escape experiment; version 5 adds the datacenter-scale grid cells
+// (scale/...) to Makespans; the simulated makespans of pre-existing
+// cells are unchanged from version 1.
+const ReportSchema = "amplify-bench/5"
 
 // Report is the machine-readable record of one amplifybench
 // invocation: what ran, how long the host took, and every simulated
@@ -220,6 +221,8 @@ func (r *Runner) HeapCells() map[string]HeapCell {
 		case e2eResult:
 			m[key] = HeapCell{Footprint: v.Footprint, PeakBytes: v.PeakBytes,
 				IntFragBP: v.IntFragBP, ExtFragBP: v.ExtFragBP}
+		case scaleCell:
+			m[key] = heapCellOf(v.Res.Footprint, v.Res.Alloc.PeakBytes, v.Res.Heap)
 		}
 	})
 	return m
@@ -257,6 +260,8 @@ func (r *Runner) Makespans() map[string]int64 {
 			m[key] = v.Makespan
 		case e2eResult:
 			m[key] = v.Makespan
+		case scaleCell:
+			m[key] = v.Res.Makespan
 		}
 	})
 	return m

@@ -154,7 +154,7 @@ func (r *Runner) foldedProfile() (string, error) {
 		return "", err
 	}
 	prof := obsv.NewProfiler()
-	res, err := vm.RunSource(amped, vm.Config{Profiler: prof})
+	res, err := vm.RunSource(amped, vm.Config{Profiler: prof, Engine: r.Engine})
 	if err != nil {
 		return "", fmt.Errorf("bench: profile run: %w", err)
 	}

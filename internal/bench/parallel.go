@@ -249,6 +249,14 @@ func (r *Runner) cellSpecs(name string) []cellSpec {
 				}})
 			}
 		}
+	case "scale":
+		for _, pt := range r.scaleGrid() {
+			pt := pt
+			tasks = append(tasks, cellSpec{scaleKey(pt.Procs, pt.Threads), func() error {
+				_, err := r.runScale(pt.Procs, pt.Threads)
+				return err
+			}})
+		}
 	}
 	return tasks
 }

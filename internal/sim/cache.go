@@ -31,6 +31,23 @@ type Cache struct {
 	// but another processor's write invalidated (a subset of Misses).
 	Invalidations int64
 	RFOs          int64
+
+	// memo caches the table coordinates of the most recently accessed
+	// line, so runs of accesses to one line (adjacent fields of an
+	// object, a read-modify-write) skip both hash lookups. The cached
+	// indexes stay valid while neither table reallocates (gen match)
+	// and, for a line absent from global, while no insert can have
+	// claimed its empty slot (n match). Purely a host-side lookup
+	// cache: the charged cycles are identical with it disabled.
+	memoOK   bool
+	memoGok  bool
+	memoCPU  int32
+	memoLine uint64
+	memoSi   int
+	memoGi   int
+	memoSGen uint32
+	memoGGen uint32
+	memoGN   int
 }
 
 type lineState struct {
@@ -73,15 +90,32 @@ func (c *Cache) accessLine(t *Thread, cpu int, line uint64, write bool) {
 	// valid across the inserts below.
 	s := &c.seen[cpu]
 	s.ensure()
-	si, sok := s.find(line)
 	g := &c.global
 	if write {
 		g.ensure()
 	}
-	gi, gok := g.find(line)
+	var si, gi int
+	var sok, gok, memoHit bool
+	if c.memoOK && c.memoLine == line && c.memoCPU == int32(cpu) &&
+		c.memoSGen == s.gen && c.memoGGen == g.gen &&
+		(c.memoGok || c.memoGN == g.n) {
+		si, gi = c.memoSi, c.memoGi
+		sok, gok, memoHit = true, c.memoGok, true
+	} else {
+		si, sok = s.find(line)
+		gi, gok = g.find(line)
+	}
 	var st lineState
 	if gok {
 		st = lineState{version: uint32(g.vals[gi]), writer: int32(g.vals[gi] >> 32)}
+	}
+	if !write && memoHit && uint32(s.vals[si]) == st.version {
+		// Memoized read hit: nothing in either table changes, so skip
+		// the table write-back and memo refresh below.
+		c.Hits++
+		t.CacheHits++
+		t.advance(c.cost.CacheHit)
+		return
 	}
 	var cycles int64
 	if sok && uint32(s.vals[si]) == st.version {
@@ -113,6 +147,11 @@ func (c *Cache) accessLine(t *Thread, cpu int, line uint64, write bool) {
 		g.set(gi, gok, line, uint64(st.version)|uint64(uint32(st.writer))<<32)
 	}
 	s.set(si, sok, line, uint64(st.version))
+	c.memoOK, c.memoGok = true, gok || write
+	c.memoCPU, c.memoLine = int32(cpu), line
+	c.memoSi, c.memoGi = si, gi
+	c.memoSGen, c.memoGGen = s.gen, g.gen
+	c.memoGN = g.n
 	t.advance(cycles)
 }
 
@@ -131,6 +170,9 @@ type lineMap struct {
 	keys []uint64
 	vals []uint64
 	n    int
+	// gen counts reallocations (initial allocation, growth, reset);
+	// any slot index obtained at an older gen is stale.
+	gen uint32
 }
 
 const lineMapMinSize = 1024 // slots; 16 KiB per table
@@ -147,6 +189,7 @@ func (m *lineMap) ensure() {
 	if cap := len(m.keys); cap == 0 {
 		m.keys = make([]uint64, lineMapMinSize)
 		m.vals = make([]uint64, lineMapMinSize)
+		m.gen++
 	} else if (m.n+1)*4 > cap*3 {
 		m.grow(cap * 2)
 	}
@@ -156,6 +199,7 @@ func (m *lineMap) grow(size int) {
 	oldKeys, oldVals := m.keys, m.vals
 	m.keys = make([]uint64, size)
 	m.vals = make([]uint64, size)
+	m.gen++
 	mask := uint64(size - 1)
 	for i, k := range oldKeys {
 		if k == 0 {
@@ -207,4 +251,5 @@ func (m *lineMap) reset() {
 	clear(m.keys)
 	clear(m.vals)
 	m.n = 0
+	m.gen++
 }

@@ -68,8 +68,24 @@ type Engine struct {
 	// scheduler pops its root instead of scanning every thread.
 	ready readyHeap
 
-	yieldCh          chan struct{}
+	// maxClock is the largest thread clock ever reached, maintained by
+	// advance and wake so Makespan is O(1) instead of an O(threads)
+	// scan. Clocks never decrease, so the running max over every
+	// increment equals the scan's answer at all times.
+	maxClock int64
+
+	// idleWorkers is the free list of pooled goroutines (heap scheduler
+	// only). Exactly one goroutine holds the baton at any moment and
+	// only the baton holder touches engine state, so no lock is needed.
+	idleWorkers    []*worker
+	workersSpawned int64
+	workersReused  int64
+
+	yieldCh  chan struct{}
+	engineCh chan struct{} // wakes Run: completion, deadlock, or panic
+
 	started          bool
+	deadlocked       bool
 	threadPanic      any
 	threadPanicStack []byte
 	tracer           Tracer
@@ -95,6 +111,7 @@ func New(cfg Config) *Engine {
 		cfg:       cfg,
 		cost:      cfg.Cost,
 		yieldCh:   make(chan struct{}),
+		engineCh:  make(chan struct{}, 1),
 		tracer:    cfg.Tracer,
 		traceMask: mask,
 	}
@@ -124,11 +141,11 @@ func (e *Engine) newThread(name string, fn func(*Ctx)) *Thread {
 		name:    name,
 		fn:      fn,
 		state:   stateNew,
-		resume:  make(chan struct{}),
 		lastCPU: -1,
 		heapIdx: -1,
 	}
-	t.lastCPU = t.slot % e.cfg.Processors
+	t.home = t.slot % e.cfg.Processors
+	t.lastCPU = t.home
 	e.threads = append(e.threads, t)
 	return t
 }
@@ -147,33 +164,102 @@ func (e *Engine) Go(name string, fn func(*Ctx)) *Thread {
 // Run executes the simulation until every thread completes and returns
 // the makespan (the largest completion time). It panics on deadlock,
 // printing the lock graph.
+//
+// With the heap scheduler the engine goroutine only bootstraps the
+// first dispatch and then parks: every subsequent scheduling event is a
+// direct peer-to-peer baton handoff — the thread that yields, blocks or
+// completes pops the next thread from the ready heap and resumes it
+// itself, one buffered channel send instead of the old
+// thread→engine→thread round-trip (two hops plus an extra goroutine
+// context switch). Run wakes again only for completion, deadlock, or a
+// thread panic.
 func (e *Engine) Run() int64 {
 	if e.started {
 		panic("sim: Run called twice")
 	}
 	e.started = true
+	if e.cfg.linearScan {
+		return e.runCentral()
+	}
 	for _, t := range e.threads {
 		if t.state == stateReady {
 			e.live++
 			e.running++
-			if !e.cfg.linearScan {
-				e.ready.push(t)
-			}
+			e.ready.push(t)
 			e.trace(t, EvThreadStart, t.name)
-			go t.run()
+		}
+	}
+	if e.live == 0 {
+		return e.Makespan()
+	}
+	e.dispatchNext()
+	<-e.engineCh
+	e.rethrowThreadPanic()
+	if e.deadlocked {
+		panic(e.deadlockReport())
+	}
+	e.shutdownWorkers()
+	return e.Makespan()
+}
+
+// dispatchNext hands the baton to the next runnable thread. It is
+// called by whichever goroutine currently holds the baton (a thread
+// that is parking, a worker retiring a finished thread, or Run at
+// bootstrap), so it has exclusive access to engine state. An empty
+// ready queue here means no thread can make progress: Run is woken to
+// report the deadlock.
+func (e *Engine) dispatchNext() {
+	n := e.ready.pop()
+	if n == nil {
+		e.deadlocked = true
+		e.engineCh <- struct{}{}
+		return
+	}
+	n.state = stateRunning
+	if e.cfg.Exact {
+		n.lease = math.MinInt64 // always yield
+	} else if p := e.ready.peek(); p != nil {
+		n.lease = p.clock
+	} else {
+		n.lease = math.MaxInt64
+	}
+	if n.w == nil {
+		e.bindWorker(n)
+	}
+	n.resume <- struct{}{}
+}
+
+// rethrowThreadPanic re-raises a captured thread panic on the caller's
+// goroutine. Go runtime errors (nil derefs, index range) would
+// otherwise lose the stack of the simulated thread in the hop, so
+// attach it; typed panic values pass through untouched so callers can
+// recover their own sentinels.
+func (e *Engine) rethrowThreadPanic() {
+	if e.threadPanic == nil {
+		return
+	}
+	if _, isRuntime := e.threadPanic.(runtime.Error); isRuntime {
+		panic(fmt.Sprintf("%v\n\n[simulated-thread stack]\n%s", e.threadPanic, e.threadPanicStack))
+	}
+	panic(e.threadPanic)
+}
+
+// runCentral is the pre-handoff reference scheduler used only with
+// linearScan: a central loop that picks the minimum-clock thread by
+// scanning and round-trips through the engine goroutine on every
+// event. The equivalence tests pin the direct-handoff scheduler to it.
+func (e *Engine) runCentral() int64 {
+	for _, t := range e.threads {
+		if t.state == stateReady {
+			e.live++
+			e.running++
+			e.trace(t, EvThreadStart, t.name)
+			t.resume = make(chan struct{})
+			go t.runLoop()
 		}
 	}
 	for e.live > 0 {
-		var t *Thread
-		lease := int64(math.MaxInt64)
-		if e.cfg.linearScan {
-			t, lease = e.pickMin()
-		} else {
-			t = e.ready.pop()
-			if n := e.ready.peek(); n != nil {
-				lease = n.clock
-			}
-		}
+		t, lease := e.pickMin()
 		if t == nil {
 			panic(e.deadlockReport())
 		}
@@ -185,17 +271,7 @@ func (e *Engine) Run() int64 {
 		}
 		t.resume <- struct{}{}
 		<-e.yieldCh
-		if e.threadPanic != nil {
-			// Re-raise on the caller's goroutine. Go runtime errors
-			// (nil derefs, index range) would otherwise lose the stack
-			// of the simulated thread in the hop, so attach it; typed
-			// panic values pass through untouched so callers can
-			// recover their own sentinels.
-			if _, isRuntime := e.threadPanic.(runtime.Error); isRuntime {
-				panic(fmt.Sprintf("%v\n\n[simulated-thread stack]\n%s", e.threadPanic, e.threadPanicStack))
-			}
-			panic(e.threadPanic)
-		}
+		e.rethrowThreadPanic()
 	}
 	return e.Makespan()
 }
@@ -223,8 +299,16 @@ func (e *Engine) pickMin() (*Thread, int64) {
 	return best, second
 }
 
-// Makespan reports the largest thread completion time seen so far.
+// Makespan reports the largest thread completion time seen so far. It
+// is an O(1) read of the running max maintained by advance and wake;
+// scanMakespan is the O(threads) reference it is pinned to by test.
 func (e *Engine) Makespan() int64 {
+	return e.maxClock
+}
+
+// scanMakespan recomputes the makespan by scanning every thread. Kept
+// as the reference implementation for the Makespan regression test.
+func (e *Engine) scanMakespan() int64 {
 	var m int64
 	for _, t := range e.threads {
 		if t.clock > m {

@@ -111,6 +111,9 @@ func (e *Engine) wake(t, w *Thread, delay int64) {
 		w.clock = t.clock
 	}
 	w.clock += delay
+	if w.clock > e.maxClock {
+		e.maxClock = w.clock
+	}
 	e.running++
 	e.enqueue(w)
 	if w.clock < t.lease {

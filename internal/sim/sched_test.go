@@ -121,6 +121,76 @@ func TestExactMatchesLeaseOnTorture(t *testing.T) {
 	}
 }
 
+// TestMakespanMatchesScan pins the O(1) running-max Makespan to the
+// O(threads) scan it replaced, on the scheduling-heavy torture
+// scenario under both schedulers and both lease modes.
+func TestMakespanMatchesScan(t *testing.T) {
+	for _, linear := range []bool{false, true} {
+		for _, exact := range []bool{false, true} {
+			cfg := Config{Processors: 4, Exact: exact}
+			cfg.linearScan = linear
+			e := torture(cfg)
+			got := e.Run()
+			if want := e.scanMakespan(); got != want {
+				t.Errorf("linear=%v exact=%v: Makespan() %d != scan %d", linear, exact, got, want)
+			}
+			if got != e.Makespan() {
+				t.Errorf("linear=%v exact=%v: Run result %d != Makespan() %d", linear, exact, got, e.Makespan())
+			}
+		}
+	}
+}
+
+// TestMakespanMidRun checks the running max is also exact while the
+// simulation is still in flight (observability samplers read it).
+func TestMakespanMidRun(t *testing.T) {
+	e := New(Config{Processors: 2})
+	checks := 0
+	for w := 0; w < 4; w++ {
+		e.Go("w", func(c *Ctx) {
+			for i := 0; i < 50; i++ {
+				c.Advance(int64(10 + w*7))
+				if got, want := e.Makespan(), e.scanMakespan(); got != want {
+					t.Errorf("mid-run Makespan() %d != scan %d", got, want)
+				}
+				checks++
+			}
+		})
+	}
+	e.Run()
+	if checks == 0 {
+		t.Fatal("no mid-run checks executed")
+	}
+}
+
+// TestWorkerPoolRecycles verifies that short-lived simulated threads
+// reuse pooled goroutines instead of spawning one each: a churn of
+// sequentially-overlapping children must be served by a bounded worker
+// set.
+func TestWorkerPoolRecycles(t *testing.T) {
+	e := New(Config{Processors: 4})
+	const churn = 2000
+	e.Go("spawner", func(c *Ctx) {
+		for i := 0; i < churn; i++ {
+			c.Go("child", func(cc *Ctx) {
+				cc.Work(20)
+			})
+			c.Advance(500)
+		}
+	})
+	e.Run()
+	if e.workersSpawned+e.workersReused == 0 {
+		t.Fatal("no workers were ever bound")
+	}
+	if e.workersSpawned > churn/10 {
+		t.Errorf("spawned %d workers for %d threads; pool is not recycling (reused %d)",
+			e.workersSpawned, churn, e.workersReused)
+	}
+	if e.workersReused < churn/2 {
+		t.Errorf("only %d of %d threads reused a pooled worker", e.workersReused, churn)
+	}
+}
+
 func TestReadyHeapOrdering(t *testing.T) {
 	e := New(Config{Processors: 4})
 	var h readyHeap
@@ -212,6 +282,53 @@ func BenchmarkOversubscribedMigration(b *testing.B) {
 				}
 			})
 		}
+		e.Run()
+	}
+}
+
+// benchSchedP measures raw scheduling throughput at large P: 4P
+// CPU-bound threads on P processors advancing in small steps, so every
+// step crosses the lease and forces a real preemption — the pure
+// handoff path, at datacenter scale.
+func benchSchedP(b *testing.B, procs int) {
+	steps := 200_000 / (4 * procs)
+	if steps < 4 {
+		steps = 4
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := New(Config{Processors: procs})
+		for w := 0; w < 4*procs; w++ {
+			e.Go("w", func(c *Ctx) {
+				for j := 0; j < steps; j++ {
+					c.Advance(91)
+				}
+			})
+		}
+		e.Run()
+	}
+}
+
+func BenchmarkSchedP64(b *testing.B)   { benchSchedP(b, 64) }
+func BenchmarkSchedP1024(b *testing.B) { benchSchedP(b, 1024) }
+
+// BenchmarkSpawnChurn measures goroutine-stack recycling: 100k
+// short-lived simulated threads spawned in a rolling wave, each doing
+// a sliver of work and dying. Before the worker pool this paid one
+// host goroutine spawn per thread.
+func BenchmarkSpawnChurn(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := New(Config{Processors: 8})
+		const churn = 100_000
+		e.Go("spawner", func(c *Ctx) {
+			for j := 0; j < churn; j++ {
+				c.Go("child", func(cc *Ctx) {
+					cc.Work(20)
+				})
+				c.Advance(300)
+			}
+		})
 		e.Run()
 	}
 }

@@ -36,10 +36,23 @@ type Thread struct {
 	// lastCPU is the processor the thread most recently ran on, used to
 	// charge migration costs.
 	lastCPU int
+	// home is slot mod P, precomputed: the processor the thread owns
+	// whenever the machine is not oversubscribed. Caching it keeps an
+	// integer division out of cpu(), which runs on every cache access
+	// and work charge.
+	home int
 	// heapIdx is the thread's position in the engine's ready heap, or
 	// -1 while it is not queued.
 	heapIdx int
 
+	// w is the pooled worker goroutine currently executing this thread
+	// (heap scheduler only). It is bound at the thread's first dispatch
+	// and returned to the engine's free list when the thread retires.
+	w *worker
+
+	// resume is where the thread parks between dispatches. With the
+	// heap scheduler it aliases w.resume; with linearScan it is a
+	// dedicated channel serviced by the central loop.
 	resume chan struct{}
 
 	// Per-thread statistics.
@@ -82,6 +95,9 @@ func (t *Thread) advance(cycles int64) {
 		t.clock += e.cost.Migration
 		e.trace(t, EvMigrate, "")
 	}
+	if t.clock > e.maxClock {
+		e.maxClock = t.clock
+	}
 }
 
 // cpu computes the processor the thread currently runs on. With at most
@@ -90,17 +106,27 @@ func (t *Thread) advance(cycles int64) {
 // time, modelling the OS spreading an oversubscribed run queue.
 func (t *Thread) cpu() int {
 	e := t.e
-	p := e.cfg.Processors
-	if e.live <= p {
-		return t.slot % p
+	if e.live <= e.cfg.Processors {
+		return t.home
 	}
 	epoch := t.clock / e.cfg.MigrationPeriod
-	return int((int64(t.slot) + epoch) % int64(p))
+	return int((int64(t.slot) + epoch) % int64(e.cfg.Processors))
 }
 
-// yield hands the baton back to the scheduler and parks until resumed.
+// yield hands the baton to the next runnable thread and parks until
+// resumed. With the heap scheduler the handoff is peer-to-peer: this
+// thread (still holding the baton) picks and resumes its successor
+// directly, so a scheduling event costs one channel send instead of a
+// round-trip through the engine goroutine. With linearScan the baton
+// goes back to the central loop.
 func (t *Thread) yield() {
-	t.e.yieldCh <- struct{}{}
+	e := t.e
+	if e.cfg.linearScan {
+		e.yieldCh <- struct{}{}
+		<-t.resume
+		return
+	}
+	e.dispatchNext()
 	<-t.resume
 }
 
@@ -116,6 +142,12 @@ func (t *Thread) maybeYield() {
 	if t.clock < t.lease {
 		return
 	}
+	t.yieldCheck()
+}
+
+// yieldCheck is the slow path of maybeYield, split out so the lease
+// check above inlines into every Work/Read/Write charge.
+func (t *Thread) yieldCheck() {
 	e := t.e
 	if !e.cfg.linearScan {
 		if n := e.ready.peek(); n == nil || schedBefore(t, n) {
@@ -134,9 +166,41 @@ func (t *Thread) maybeYield() {
 	t.yield()
 }
 
-// run is the goroutine body wrapping the thread function. Panics are
-// captured and re-raised from Engine.Run on the caller's goroutine.
-func (t *Thread) run() {
+// exec runs the thread function on the current worker goroutine (heap
+// scheduler). When the function returns or panics the thread retires:
+// its worker goes back to the free list and the baton moves on — to
+// the next runnable thread, or to Engine.Run when the simulation is
+// over (last thread done, or a panic to re-raise).
+func (t *Thread) exec() {
+	defer func() {
+		e := t.e
+		r := recover()
+		if r != nil {
+			e.threadPanic = r
+			e.threadPanicStack = debug.Stack()
+		}
+		t.state = stateDone
+		e.live--
+		e.running--
+		e.trace(t, EvThreadDone, t.name)
+		e.idleWorkers = append(e.idleWorkers, t.w)
+		t.w = nil
+		if r != nil || e.live == 0 {
+			e.engineCh <- struct{}{}
+			return
+		}
+		e.dispatchNext()
+	}()
+	ctx := &Ctx{t: t}
+	t.fn(ctx)
+}
+
+// runLoop is the goroutine body wrapping the thread function under the
+// linearScan reference scheduler: park for the first dispatch, run,
+// and hand the baton back to the central loop on completion. Panics
+// are captured and re-raised from Engine.Run on the caller's
+// goroutine.
+func (t *Thread) runLoop() {
 	<-t.resume
 	defer func() {
 		if r := recover(); r != nil {
@@ -206,8 +270,11 @@ func (c *Ctx) Sbrk() {
 	c.t.maybeYield()
 }
 
-// Go spawns a new thread from inside the simulation. The child starts at
-// the parent's current time plus the spawn cost.
+// Go spawns a new thread from inside the simulation. The child starts
+// at the parent's current time plus the spawn cost. With the heap
+// scheduler no host goroutine is created here: the child is bound to a
+// pooled worker at its first dispatch, so spawning is just a heap
+// push on the host.
 func (c *Ctx) Go(name string, fn func(*Ctx)) *Thread {
 	t := c.t
 	t.advance(t.e.cost.Spawn)
@@ -216,7 +283,10 @@ func (c *Ctx) Go(name string, fn func(*Ctx)) *Thread {
 	t.e.wake(t, nt, 0)
 	t.e.trace(t, EvSpawn, name)
 	t.e.trace(nt, EvThreadStart, name)
-	go nt.run()
+	if t.e.cfg.linearScan {
+		nt.resume = make(chan struct{})
+		go nt.runLoop()
+	}
 	t.maybeYield()
 	return nt
 }

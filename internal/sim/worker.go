@@ -1,0 +1,65 @@
+package sim
+
+// worker is a pooled goroutine that executes simulated threads one
+// after another. Spawning a goroutine (and growing its stack) is the
+// dominant host cost of a short-lived simulated thread, so instead of
+// `go t.run()` per thread the engine binds each thread to a worker at
+// its first dispatch and returns the worker to a free list when the
+// thread retires. A recycled worker keeps its grown stack, so spawn
+// churn (millions of short-lived threads) stops paying goroutine
+// creation and stack growth per thread.
+//
+// Synchronization: the worker's resume channel doubles as the thread's
+// resume channel while bound. Every mutation of worker state (w.t, the
+// engine free list) happens while holding the baton, and the baton
+// chain is a chain of channel operations, so all accesses are ordered
+// without a lock. The channel is buffered so a dispatcher can resume a
+// worker that has not finished parking yet.
+type worker struct {
+	resume chan struct{}
+	t      *Thread // thread to execute next; nil tells loop to exit
+}
+
+// bindWorker attaches t to a pooled (or fresh) worker. Called by the
+// baton holder at t's first dispatch.
+func (e *Engine) bindWorker(t *Thread) {
+	var w *worker
+	if n := len(e.idleWorkers); n > 0 {
+		w = e.idleWorkers[n-1]
+		e.idleWorkers[n-1] = nil
+		e.idleWorkers = e.idleWorkers[:n-1]
+		e.workersReused++
+	} else {
+		w = &worker{resume: make(chan struct{}, 1)}
+		e.workersSpawned++
+		go w.loop(e)
+	}
+	w.t = t
+	t.w = w
+	t.resume = w.resume
+}
+
+// loop waits for a thread to be bound and dispatched, executes it to
+// completion, then parks for reuse. A dispatch with no bound thread is
+// the shutdown sentinel sent by Run after the simulation completes.
+func (w *worker) loop(e *Engine) {
+	for range w.resume {
+		t := w.t
+		if t == nil {
+			return
+		}
+		w.t = nil
+		t.exec()
+	}
+}
+
+// shutdownWorkers retires every pooled worker. Called by Run after the
+// last thread completed; at that point every worker is on the free
+// list (all appended before the engineCh wake, so visibility is
+// ordered).
+func (e *Engine) shutdownWorkers() {
+	for _, w := range e.idleWorkers {
+		w.resume <- struct{}{}
+	}
+	e.idleWorkers = nil
+}

@@ -54,6 +54,42 @@ func FuzzVMDiff(f *testing.F) {
 		if stepLimited(err) || stepLimited(noOptErr) {
 			t.Skip("step limit")
 		}
+
+		// Three-way: the closure-compiled engine runs the same bytecode
+		// through chained continuations instead of a dispatch loop. It
+		// charges work at the same per-instruction granularity, so the
+		// agreement with the switch engine is exact — results, faults
+		// and the simulated makespan.
+		for _, lvl := range []Config{
+			{MaxSteps: maxSteps, Engine: "closure"},
+			{MaxSteps: maxSteps, Engine: "closure", NoOpt: true},
+		} {
+			cRes, cErr := RunSource(src, lvl)
+			if stepLimited(cErr) {
+				t.Skip("step limit")
+			}
+			ref, refErr := opt, err
+			if lvl.NoOpt {
+				ref, refErr = noOpt, noOptErr
+			}
+			if (refErr == nil) != (cErr == nil) {
+				t.Fatalf("closure engine changed failure (noopt=%v): switch err=%v, closure err=%v\nprogram:\n%s",
+					lvl.NoOpt, refErr, cErr, src)
+			}
+			if refErr != nil {
+				if refErr.Error() != cErr.Error() {
+					t.Fatalf("closure engine fault differs (noopt=%v):\nswitch:  %q\nclosure: %q\nprogram:\n%s",
+						lvl.NoOpt, refErr, cErr, src)
+				}
+				continue
+			}
+			if ref.Output != cRes.Output || ref.ExitCode != cRes.ExitCode ||
+				ref.Makespan != cRes.Makespan || ref.Alloc != cRes.Alloc {
+				t.Fatalf("closure engine diverged (noopt=%v):\nswitch:  exit=%d makespan=%d alloc=%+v out=%q\nclosure: exit=%d makespan=%d alloc=%+v out=%q\nprogram:\n%s",
+					lvl.NoOpt, ref.ExitCode, ref.Makespan, ref.Alloc, ref.Output,
+					cRes.ExitCode, cRes.Makespan, cRes.Alloc, cRes.Output, src)
+			}
+		}
 		if (err == nil) != (noOptErr == nil) {
 			t.Fatalf("optimization changed failure: -O err=%v, -no-opt err=%v\nprogram:\n%s", err, noOptErr, src)
 		}

@@ -192,6 +192,23 @@ class A { public: A() { } int x; };
 int helper(A* a) { return a->x; }
 int main() { return helper(null); }`
 	for _, cfg := range []Config{{}, {NoOpt: true}} {
+		// Both engines must report the same fault with the same
+		// fn@pc:op context; pin them against each other exactly.
+		swErr, cErr := func() (error, error) {
+			_, e1 := RunSource(src, cfg)
+			ccfg := cfg
+			ccfg.Engine = "closure"
+			_, e2 := RunSource(src, ccfg)
+			return e1, e2
+		}()
+		if swErr == nil || cErr == nil {
+			t.Fatalf("expected faults from both engines, got switch=%v closure=%v", swErr, cErr)
+		}
+		if swErr.Error() != cErr.Error() {
+			t.Fatalf("fault context differs across engines:\nswitch:  %q\nclosure: %q", swErr, cErr)
+		}
+	}
+	for _, cfg := range []Config{{}, {NoOpt: true}} {
 		_, err := RunSource(src, cfg)
 		if err == nil {
 			t.Fatal("expected a null-dereference fault")
@@ -277,6 +294,23 @@ func TestCrossEngineDifferential(t *testing.T) {
 			if !reflect.DeepEqual(vRes, nRes) {
 				t.Fatalf("seed %d %s: optimizer changed simulated results\n-O:      %+v\n-no-opt: %+v",
 					seed, name, vRes, nRes)
+			}
+			// The closure-compiled engine executes the same bytecode with
+			// a different dispatch mechanism; every observable — the
+			// makespan included — must be byte-identical to the switch
+			// engine, at both optimization levels.
+			for variant, ccfg := range map[string]Config{
+				"closure":         {Engine: "closure"},
+				"closure -no-opt": {Engine: "closure", NoOpt: true},
+			} {
+				cRes, err := RunSource(program, ccfg)
+				if err != nil {
+					t.Fatalf("seed %d %s: vm %s: %v", seed, name, variant, err)
+				}
+				if !reflect.DeepEqual(vRes, cRes) {
+					t.Fatalf("seed %d %s: %s engine diverged from switch\nswitch:  %+v\n%s: %+v",
+						seed, name, variant, vRes, variant, cRes)
+				}
 			}
 			if sortedLines(iRes.Output) != sortedLines(vRes.Output) {
 				t.Fatalf("seed %d %s: engines disagree\ninterp:\n%s\nvm:\n%s\nprogram:\n%s",
