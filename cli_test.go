@@ -258,6 +258,76 @@ func TestCLICompare(t *testing.T) {
 	if exitErr, ok := err.(*exec.ExitError); !ok || exitErr.ExitCode() != 1 {
 		t.Fatalf("garbage report: err = %v (want exit 1)\n%s", err, out)
 	}
+
+	// Host-benchmark reports are detected by schema and diffed on
+	// ns/op with the same threshold flag (generously set — host
+	// timings are noisy).
+	hostBase := write("host_base.json", `{"schema":"amplify-hostbench/1","go_version":"go1.23",
+		"benchmarks":[{"name":"vm/arith_loop/switch","ns_per_op":1000000,"allocs_per_op":50}]}`)
+	hostSame := write("host_same.json", `{"schema":"amplify-hostbench/1","go_version":"go1.23",
+		"benchmarks":[{"name":"vm/arith_loop/switch","ns_per_op":1200000,"allocs_per_op":50}]}`)
+	hostWorse := write("host_worse.json", `{"schema":"amplify-hostbench/1","go_version":"go1.23",
+		"benchmarks":[{"name":"vm/arith_loop/switch","ns_per_op":2500000,"allocs_per_op":50}]}`)
+	if out, err := exec.Command(filepath.Join(bin, "amplifybench"),
+		"-compare", "-threshold", "50", hostBase, hostSame).CombinedOutput(); err != nil {
+		t.Fatalf("host drift within threshold: %v\n%s", err, out)
+	}
+	out, err = exec.Command(filepath.Join(bin, "amplifybench"),
+		"-compare", "-threshold", "50", hostBase, hostWorse).CombinedOutput()
+	if exitErr, ok := err.(*exec.ExitError); !ok || exitErr.ExitCode() != 3 {
+		t.Fatalf("host regression: err = %v (want exit 3)\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "ns_per_op vm/arith_loop/switch") {
+		t.Errorf("host regression not named:\n%s", out)
+	}
+
+	// Mixing a host report with a simulated-bench report is an error,
+	// not an empty diff.
+	out, err = exec.Command(filepath.Join(bin, "amplifybench"), "-compare", base, hostBase).CombinedOutput()
+	if exitErr, ok := err.(*exec.ExitError); !ok || exitErr.ExitCode() != 1 {
+		t.Fatalf("mixed report kinds: err = %v (want exit 1)\n%s", err, out)
+	}
+}
+
+// TestCLIAllocFailFast: a typo'd -alloc name must fail immediately —
+// before any parsing or simulation — naming the valid strategies, on
+// both CLIs; the lock-free allocator must be accepted by both.
+func TestCLIAllocFailFast(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bin := buildTools(t)
+	srcPath := filepath.Join(t.TempDir(), "prog.mcc")
+	if err := os.WriteFile(srcPath, []byte(cliProgram), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	out, err := exec.Command(filepath.Join(bin, "mccrun"), "-alloc", "tcmalloc", srcPath).CombinedOutput()
+	if exitErr, ok := err.(*exec.ExitError); !ok || exitErr.ExitCode() != 1 {
+		t.Fatalf("mccrun unknown -alloc: err = %v (want exit 1)\n%s", err, out)
+	}
+	for _, want := range []string{`"tcmalloc"`, "serial", "ptmalloc", "hoard", "lfalloc"} {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("mccrun -alloc error missing %q:\n%s", want, out)
+		}
+	}
+
+	out, err = exec.Command(filepath.Join(bin, "amplifybench"), "-alloc", "lfalloc,tcmalloc", "-exp", "contend").CombinedOutput()
+	if exitErr, ok := err.(*exec.ExitError); !ok || exitErr.ExitCode() != 1 {
+		t.Fatalf("amplifybench unknown -alloc: err = %v (want exit 1)\n%s", err, out)
+	}
+	if !strings.Contains(string(out), `"tcmalloc"`) || !strings.Contains(string(out), "serial") {
+		t.Errorf("amplifybench -alloc error missing the valid list:\n%s", out)
+	}
+
+	// The lock-free allocator runs a program end to end.
+	out, err = exec.Command(filepath.Join(bin, "mccrun"), "-alloc", "lfalloc", "-stats", srcPath).CombinedOutput()
+	if err != nil {
+		t.Fatalf("mccrun -alloc lfalloc: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "done") || !strings.Contains(string(out), "atomic ops:") {
+		t.Errorf("lfalloc run output:\n%s", out)
+	}
 }
 
 func TestCLIErrors(t *testing.T) {

@@ -15,7 +15,10 @@
 //	              (default: the host's CPU count; output is identical
 //	              for every N — only wall-clock changes)
 //	-json         emit a machine-readable BENCH report (schema
-//	              amplify-bench/4) on stdout instead of text
+//	              amplify-bench/6) on stdout instead of text
+//	-alloc list   comma-separated allocators for the contend experiment
+//	              (default serial,ptmalloc,hoard,lfalloc); unknown names
+//	              fail fast with the registered strategies
 //	-trace-dir d  export observability artifacts into d: Chrome traces
 //	              of the tree workload under serial/ptmalloc/amplify, a
 //	              JSONL event stream, a per-lock contention profile,
@@ -28,7 +31,11 @@
 //	              heap-summary.json of per-cell footprint/fragmentation
 //	-compare old new  diff two bench reports (no experiments are run);
 //	              exits 3 when a makespan, footprint or fragmentation
-//	              number regressed past -threshold
+//	              number regressed past -threshold; host-benchmark
+//	              reports (schema amplify-hostbench/*) are detected by
+//	              schema and diffed on ns/op and allocs/op instead —
+//	              use a generous -threshold there, host timings are
+//	              noisy by construction
 //	-threshold p  allowed relative degradation for -compare, in percent
 //	              (fragmentation: percentage points); default 0 = exact
 //	-no-opt       disable the VM bytecode optimizer (default runs -O);
@@ -49,7 +56,9 @@ import (
 	"strings"
 	"time"
 
+	"amplify/internal/alloc"
 	"amplify/internal/bench"
+	"amplify/internal/workload"
 )
 
 // errRegression marks a -compare run that found regressions; main
@@ -76,6 +85,7 @@ func run() error {
 	jsonOut := flag.Bool("json", false, "emit machine-readable report on stdout")
 	noOpt := flag.Bool("no-opt", false, "disable the VM bytecode optimizer (identical simulated results, slower host)")
 	engine := flag.String("engine", "", "VM execution engine for MiniCC experiments: switch (default) | closure; identical simulated results, different host wall-clock")
+	allocList := flag.String("alloc", "", "comma-separated allocators for the contend experiment (default "+strings.Join(workload.ChurnStrategies(), ",")+")")
 	hostBench := flag.Bool("host-bench", false, "run the host-side Go benchmarks (VM engines, scheduler) and emit a BENCH_host JSON report on stdout; no simulation experiments are run")
 	traceDir := flag.String("trace-dir", "", "export trace/profile/metrics artifacts into this directory")
 	heapDir := flag.String("heap-dir", "", "export heap timeline/site-profile/summary artifacts into this directory")
@@ -124,9 +134,20 @@ func run() error {
 	r.Jobs = *jobs
 	r.VMNoOpt = *noOpt
 	r.Engine = *engine
+	if *allocList != "" {
+		// Fail fast on unknown allocator names, before any simulation
+		// runs: a typo'd -alloc should cost milliseconds, not a warm-up.
+		names := strings.Split(*allocList, ",")
+		for _, n := range names {
+			if err := alloc.Valid(n); err != nil {
+				return err
+			}
+		}
+		r.ContendAllocs = names
+	}
 	var todo []string
 	if *exp == "all" {
-		todo = []string{"table1", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "claims", "memory", "pipeline", "sensitivity", "escape", "scale", "endtoend"}
+		todo = []string{"table1", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "claims", "memory", "pipeline", "sensitivity", "escape", "scale", "contend", "endtoend"}
 	} else {
 		todo = strings.Split(*exp, ",")
 	}
@@ -186,34 +207,82 @@ func run() error {
 
 // runCompare diffs two bench report files and prints the summary; a
 // regression surfaces as errRegression (exit 3), a malformed report as
-// an ordinary error (exit 1).
+// an ordinary error (exit 1). The report kind is sniffed from the
+// schema field: amplify-bench/* reports diff simulated makespans and
+// heap numbers, amplify-hostbench/* reports diff host ns/op and
+// allocs/op (pair a generous -threshold with those — host timings are
+// noisy by construction). Mixing the two kinds is an error.
 func runCompare(baselinePath, currentPath string, threshold float64) error {
-	load := func(path string) (*bench.Report, error) {
-		b, err := os.ReadFile(path)
-		if err != nil {
-			return nil, err
-		}
-		var rep bench.Report
-		if err := json.Unmarshal(b, &rep); err != nil {
-			return nil, fmt.Errorf("%s: %w", path, err)
-		}
-		return &rep, nil
-	}
-	baseline, err := load(baselinePath)
+	baseRaw, err := os.ReadFile(baselinePath)
 	if err != nil {
 		return err
 	}
-	current, err := load(currentPath)
+	curRaw, err := os.ReadFile(currentPath)
 	if err != nil {
 		return err
 	}
-	cmp, err := bench.Compare(baseline, current, threshold)
+	baseSchema, err := sniffSchema(baselinePath, baseRaw)
+	if err != nil {
+		return err
+	}
+	curSchema, err := sniffSchema(currentPath, curRaw)
+	if err != nil {
+		return err
+	}
+	baseHost := strings.HasPrefix(baseSchema, "amplify-hostbench/")
+	if curHost := strings.HasPrefix(curSchema, "amplify-hostbench/"); baseHost != curHost {
+		return fmt.Errorf("cannot compare %q (%s) against %q (%s): one is a host-benchmark report, the other a simulated-bench report",
+			baselinePath, baseSchema, currentPath, curSchema)
+	}
+
+	var cmp *bench.Comparison
+	if baseHost {
+		var baseline, current bench.HostReport
+		if err := loadJSON(baselinePath, baseRaw, &baseline); err != nil {
+			return err
+		}
+		if err := loadJSON(currentPath, curRaw, &current); err != nil {
+			return err
+		}
+		cmp, err = bench.CompareHost(&baseline, &current, threshold)
+	} else {
+		var baseline, current bench.Report
+		if err := loadJSON(baselinePath, baseRaw, &baseline); err != nil {
+			return err
+		}
+		if err := loadJSON(currentPath, curRaw, &current); err != nil {
+			return err
+		}
+		cmp, err = bench.Compare(&baseline, &current, threshold)
+	}
 	if err != nil {
 		return err
 	}
 	fmt.Print(cmp.Format())
 	if cmp.Regressed() {
 		return errRegression
+	}
+	return nil
+}
+
+// sniffSchema extracts the schema field of a report file so -compare
+// can dispatch without committing to a full struct first.
+func sniffSchema(path string, raw []byte) (string, error) {
+	var head struct {
+		Schema string `json:"schema"`
+	}
+	if err := json.Unmarshal(raw, &head); err != nil {
+		return "", fmt.Errorf("%s: %w", path, err)
+	}
+	if head.Schema == "" {
+		return "", fmt.Errorf("%s: no schema field — not a bench report", path)
+	}
+	return head.Schema, nil
+}
+
+func loadJSON(path string, raw []byte, v any) error {
+	if err := json.Unmarshal(raw, v); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
 	}
 	return nil
 }

@@ -6,7 +6,9 @@
 //
 // Flags:
 //
-//	-alloc s      C-library allocator: serial | ptmalloc | hoard | smartheap
+//	-alloc s      C-library allocator: serial | ptmalloc | hoard |
+//	              smartheap | lkmalloc | lfalloc; unknown names fail
+//	              fast with the list of registered strategies
 //	-engine e     execution engine: vm (bytecode dispatch loop, default) |
 //	              closure (bytecode compiled to chained Go closures —
 //	              identical simulated results, faster host) | ast
@@ -90,7 +92,7 @@ func main() {
 // failed artifact write after a successful run — makes mccrun exit
 // non-zero instead of silently reporting the program's status.
 func run() (int, error) {
-	allocName := flag.String("alloc", "serial", "allocator: serial | ptmalloc | hoard | smartheap | lkmalloc")
+	allocName := flag.String("alloc", "serial", "allocator: serial | ptmalloc | hoard | smartheap | lkmalloc | lfalloc")
 	engine := flag.String("engine", "vm", "execution engine: vm (bytecode dispatch loop) | closure (bytecode compiled to chained Go closures) | ast (tree-walking)")
 	procs := flag.Int("procs", 8, "simulated processors")
 	amplify := flag.Bool("amplify", false, "pre-process with Amplify before running")
@@ -114,6 +116,11 @@ func run() (int, error) {
 		fmt.Fprintln(os.Stderr, "usage: mccrun [flags] program.mcc  (use - for stdin)")
 		flag.PrintDefaults()
 		os.Exit(2)
+	}
+	// Fail fast on a typo'd allocator name — before the program is read,
+	// parsed or simulated — with the list of registered strategies.
+	if err := alloc.Valid(*allocName); err != nil {
+		return 0, err
 	}
 	src, err := readInput(flag.Arg(0))
 	if err != nil {
@@ -244,6 +251,8 @@ func run() (int, error) {
 		fmt.Fprintf(os.Stderr, "  shadow reuses:   %d\n", res.shadowReuses)
 		fmt.Fprintf(os.Stderr, "  lock acquires:   %d (contended %d)\n", res.sim.LockAcquires, res.sim.LockContended)
 		fmt.Fprintf(os.Stderr, "  cache misses:    %d (hits %d)\n", res.sim.CacheMisses, res.sim.CacheHits)
+		fmt.Fprintf(os.Stderr, "  atomic ops:      %d CAS (%d failed), %d FAA, %d loads, %d stores\n",
+			res.sim.AtomicCAS, res.sim.AtomicCASFailed, res.sim.AtomicFAA, res.sim.AtomicLoads, res.sim.AtomicStores)
 		fmt.Fprintf(os.Stderr, "  footprint:       %d bytes\n", res.footprint)
 	}
 	return int(res.exitCode), nil
@@ -323,6 +332,11 @@ func writeArtifacts(rec *sim.Recorder, prof *obsv.Profiler, timeline *heapobsv.T
 		reg.Set("sim.cache.misses", res.sim.CacheMisses)
 		reg.Set("sim.cache.invalidations", res.sim.CacheInvalidations)
 		reg.Set("sim.cache.rfos", res.sim.CacheRFOs)
+		reg.Set("sim.atomic.cas", res.sim.AtomicCAS)
+		reg.Set("sim.atomic.cas_failed", res.sim.AtomicCASFailed)
+		reg.Set("sim.atomic.faa", res.sim.AtomicFAA)
+		reg.Set("sim.atomic.loads", res.sim.AtomicLoads)
+		reg.Set("sim.atomic.stores", res.sim.AtomicStores)
 		reg.Set("sim.migrations", res.sim.Migrations)
 		reg.Set("footprint.bytes", res.footprint)
 		out, err := reg.JSON()

@@ -103,6 +103,17 @@ func New(name string, e *sim.Engine, sp *mem.Space, opt Options) (Allocator, err
 	return f(e, sp, opt), nil
 }
 
+// Valid reports whether name is a registered strategy, returning the
+// same error New would. CLIs call it right after flag parsing so an
+// unknown -alloc name fails fast with the list of valid allocators,
+// instead of deep inside a run.
+func Valid(name string) error {
+	if _, ok := registry[name]; !ok {
+		return fmt.Errorf("alloc: unknown strategy %q (have %v)", name, Names())
+	}
+	return nil
+}
+
 // Names lists the registered strategy names, sorted.
 func Names() []string {
 	names := make([]string, 0, len(registry))

@@ -2,6 +2,7 @@ package alloc_test
 
 import (
 	"math/rand"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -10,13 +11,14 @@ import (
 	"amplify/internal/sim"
 
 	_ "amplify/internal/hoard"
+	_ "amplify/internal/lfalloc"
 	_ "amplify/internal/lkmalloc"
 	_ "amplify/internal/ptmalloc"
 	_ "amplify/internal/serial"
 	_ "amplify/internal/smartheap"
 )
 
-var strategies = []string{"serial", "ptmalloc", "hoard", "smartheap", "lkmalloc"}
+var strategies = []string{"serial", "ptmalloc", "hoard", "smartheap", "lkmalloc", "lfalloc"}
 
 func TestRegistryNames(t *testing.T) {
 	names := alloc.Names()
@@ -33,6 +35,23 @@ func TestUnknownStrategy(t *testing.T) {
 	e := sim.New(sim.Config{Processors: 2})
 	if _, err := alloc.New("bogus", e, mem.NewSpace(), alloc.Options{}); err == nil {
 		t.Fatal("expected error for unknown strategy")
+	}
+}
+
+func TestValid(t *testing.T) {
+	for _, s := range strategies {
+		if err := alloc.Valid(s); err != nil {
+			t.Errorf("Valid(%q) = %v", s, err)
+		}
+	}
+	err := alloc.Valid("bogus")
+	if err == nil {
+		t.Fatal("Valid(bogus) = nil, want error")
+	}
+	for _, s := range strategies {
+		if !strings.Contains(err.Error(), s) {
+			t.Errorf("error %q does not list registered strategy %q", err, s)
+		}
 	}
 }
 

@@ -14,6 +14,7 @@ import (
 	"amplify/internal/workload"
 
 	_ "amplify/internal/hoard"
+	_ "amplify/internal/lfalloc"
 	_ "amplify/internal/ptmalloc"
 	_ "amplify/internal/serial"
 	_ "amplify/internal/smartheap"
@@ -51,6 +52,11 @@ type Runner struct {
 	// not change — CI diffs the two reports' makespans — only host
 	// wall-clock does.
 	VMNoOpt bool
+	// ContendAllocs filters the allocators the contend experiment
+	// compares; nil or empty means the full workload.ChurnStrategies()
+	// roster. Names must be registered alloc strategies (the
+	// amplifybench -alloc flag validates before setting this).
+	ContendAllocs []string
 	// Engine selects the VM execution engine for those same
 	// experiments: "" or "switch" for the dispatch-loop interpreter,
 	// "closure" for the closure-compiled backend. Like VMNoOpt it must
@@ -60,6 +66,8 @@ type Runner struct {
 
 	quick bool
 	cells cellStore
+	// contendGridOverride substitutes the contention grid (tests only).
+	contendGridOverride []contendPoint
 }
 
 // NewRunner returns a Runner with the full experiment sizes, or reduced
@@ -465,7 +473,7 @@ func (r *Runner) Claims() (string, error) {
 
 // Names lists the experiment identifiers accepted by Run.
 func Names() []string {
-	names := []string{"table1", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "claims", "memory", "pipeline", "sensitivity", "escape", "scale"}
+	names := []string{"table1", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "claims", "memory", "pipeline", "sensitivity", "escape", "scale", "contend"}
 	sort.Strings(names)
 	return names
 }
@@ -511,6 +519,8 @@ func (r *Runner) Run(name string) (string, error) {
 		return r.Escape()
 	case "scale":
 		return r.Scale()
+	case "contend":
+		return r.Contend()
 	case "endtoend":
 		return r.EndToEnd()
 	default:

@@ -166,7 +166,7 @@ func TestReportHeapSection(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rep.Schema != "amplify-bench/5" {
+	if rep.Schema != "amplify-bench/6" {
 		t.Fatalf("schema = %q", rep.Schema)
 	}
 	if len(rep.Heap) == 0 {

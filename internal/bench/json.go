@@ -16,9 +16,11 @@ import (
 // per-cell heap map (Heap) and per-experiment heap headlines; version
 // 4 adds the escape-analysis verdict section (Escape) stamped by the
 // escape experiment; version 5 adds the datacenter-scale grid cells
-// (scale/...) to Makespans; the simulated makespans of pre-existing
-// cells are unchanged from version 1.
-const ReportSchema = "amplify-bench/5"
+// (scale/...) to Makespans; version 6 adds the contention-scaling
+// grid cells (contend/...) and the sim.atomic.* counters to Metrics;
+// the simulated makespans of pre-existing cells are unchanged from
+// version 1.
+const ReportSchema = "amplify-bench/6"
 
 // Report is the machine-readable record of one amplifybench
 // invocation: what ran, how long the host took, and every simulated
@@ -214,6 +216,8 @@ func (r *Runner) HeapCells() map[string]HeapCell {
 		switch v := val.(type) {
 		case workload.Result:
 			m[key] = heapCellOf(v.Footprint, v.Alloc.PeakBytes, v.Heap)
+		case workload.ChurnResult:
+			m[key] = heapCellOf(v.Footprint, v.Alloc.PeakBytes, v.Heap)
 		case bgw.Result:
 			m[key] = heapCellOf(v.Footprint, v.Alloc.PeakBytes, v.Heap)
 		case bgw.PipelineResult:
@@ -253,6 +257,8 @@ func (r *Runner) Makespans() map[string]int64 {
 	r.cells.completed(func(key string, val any) {
 		switch v := val.(type) {
 		case workload.Result:
+			m[key] = v.Makespan
+		case workload.ChurnResult:
 			m[key] = v.Makespan
 		case bgw.Result:
 			m[key] = v.Makespan

@@ -37,6 +37,11 @@ func (r *Runner) Metrics() map[string]int64 {
 		reg.Add("sim.chan.blocked_recvs", st.ChanBlockedRecvs)
 		reg.Add("sim.wg.waits", st.WaitGroupWaits)
 		reg.Add("sim.wg.dones", st.WaitGroupDones)
+		reg.Add("sim.atomic.cas", st.AtomicCAS)
+		reg.Add("sim.atomic.cas_failed", st.AtomicCASFailed)
+		reg.Add("sim.atomic.faa", st.AtomicFAA)
+		reg.Add("sim.atomic.loads", st.AtomicLoads)
+		reg.Add("sim.atomic.stores", st.AtomicStores)
 	}
 	r.cells.completed(func(key string, val any) {
 		switch v := val.(type) {
@@ -48,6 +53,11 @@ func (r *Runner) Metrics() map[string]int64 {
 			reg.Add("pool.hits", v.PoolHits)
 			reg.Add("pool.misses", v.PoolMisses)
 			reg.Add("pool.failed_trylocks", v.FailedTryLocks)
+		case workload.ChurnResult:
+			reg.Add("cells.contend", 1)
+			addSim(v.Sim)
+			reg.Add("alloc.allocs", v.Alloc.Allocs)
+			reg.Add("alloc.frees", v.Alloc.Frees)
 		case bgw.Result:
 			reg.Add("cells.bgw", 1)
 			addSim(v.Sim)

@@ -257,6 +257,16 @@ func (r *Runner) cellSpecs(name string) []cellSpec {
 				return err
 			}})
 		}
+	case "contend":
+		for _, pt := range r.contendGrid() {
+			for _, s := range r.contendAllocs() {
+				pt, s := pt, s
+				tasks = append(tasks, cellSpec{contendKey(s, pt.Procs, pt.Threads), func() error {
+					_, err := r.runContend(s, pt.Procs, pt.Threads)
+					return err
+				}})
+			}
+		}
 	}
 	return tasks
 }

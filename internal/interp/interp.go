@@ -19,6 +19,7 @@ import (
 	"amplify/internal/sim"
 
 	_ "amplify/internal/hoard"
+	_ "amplify/internal/lfalloc"
 	_ "amplify/internal/lkmalloc"
 	_ "amplify/internal/ptmalloc"
 	_ "amplify/internal/serial"

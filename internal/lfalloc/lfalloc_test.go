@@ -1,0 +1,163 @@
+package lfalloc
+
+import (
+	"testing"
+
+	"amplify/internal/alloc"
+	"amplify/internal/mem"
+	"amplify/internal/sim"
+)
+
+func TestSharedStackLIFO(t *testing.T) {
+	e := sim.New(sim.Config{Processors: 2})
+	a := New(e, mem.NewSpace())
+	e.Go("t0", func(c *sim.Ctx) {
+		r1 := a.Alloc(c, 64)
+		r2 := a.Alloc(c, 64)
+		if r1 == r2 {
+			t.Error("two live blocks share an address")
+		}
+		a.Free(c, r1)
+		a.Free(c, r2)
+		// LIFO: the last free is the next alloc.
+		if got := a.Alloc(c, 64); got != r2 {
+			t.Errorf("expected LIFO reuse of %#x, got %#x", uint64(r2), uint64(got))
+		}
+		if got := a.Alloc(c, 64); got != r1 {
+			t.Errorf("expected second pop %#x, got %#x", uint64(r1), uint64(got))
+		}
+	})
+	e.Run()
+}
+
+func TestCrossThreadFree(t *testing.T) {
+	e := sim.New(sim.Config{Processors: 2})
+	a := New(e, mem.NewSpace())
+	wg := e.NewWaitGroup()
+	wg.Add(1)
+	var ref mem.Ref
+	e.Go("producer", func(c *sim.Ctx) {
+		ref = a.Alloc(c, 100)
+		wg.Done(c)
+	})
+	e.Go("consumer", func(c *sim.Ctx) {
+		wg.Wait(c)
+		a.Free(c, ref) // freed on a different thread than it was allocated
+		if got := a.Alloc(c, 100); got != ref {
+			t.Errorf("shared stack did not hand the freed block back: %#x vs %#x", uint64(got), uint64(ref))
+		}
+	})
+	e.Run()
+	if st := a.Stats(); st.LiveBlocks != 1 || st.Allocs != 2 || st.Frees != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestBoundedCASPerOperation pins the constant-time property: no
+// operation performs more than CASBudget shared-stack attempts, so the
+// engine-wide CAS count is bounded by (allocs+frees)*CASBudget no
+// matter how contended the run was.
+func TestBoundedCASPerOperation(t *testing.T) {
+	e := sim.New(sim.Config{Processors: 4})
+	a := New(e, mem.NewSpace())
+	const threads, ops = 16, 120
+	for i := 0; i < threads; i++ {
+		e.Go("w", func(c *sim.Ctx) {
+			var refs []mem.Ref
+			for j := 0; j < ops; j++ {
+				refs = append(refs, a.Alloc(c, 48))
+				if len(refs) > 8 {
+					a.Free(c, refs[0])
+					refs = refs[1:]
+				}
+			}
+			for _, r := range refs {
+				a.Free(c, r)
+			}
+		})
+	}
+	e.Run()
+	st := e.Stats()
+	astats := a.Stats()
+	bound := (astats.Allocs + astats.Frees) * CASBudget
+	if st.AtomicCAS > bound {
+		t.Fatalf("CAS attempts %d exceed the constant-time bound %d", st.AtomicCAS, bound)
+	}
+	if st.AtomicCAS == 0 {
+		t.Fatal("no CAS traffic recorded — the shared stack was never used")
+	}
+	if astats.LiveBlocks != 0 {
+		t.Fatalf("leaked %d blocks", astats.LiveBlocks)
+	}
+}
+
+// TestContendedChurnDeterminism runs the same oversubscribed churn
+// twice and requires identical makespans and identical atomic-op
+// counters — the acceptance criterion for atomics under virtual time.
+func TestContendedChurnDeterminism(t *testing.T) {
+	run := func() (int64, sim.Stats, alloc.Stats) {
+		e := sim.New(sim.Config{Processors: 4})
+		a := New(e, mem.NewSpace())
+		for i := 0; i < 32; i++ {
+			e.Go("w", func(c *sim.Ctx) {
+				for j := 0; j < 60; j++ {
+					r := a.Alloc(c, 20)
+					c.Write(uint64(r), 8)
+					a.Free(c, r)
+				}
+			})
+		}
+		ms := e.Run()
+		return ms, e.Stats(), a.Stats()
+	}
+	ms1, sim1, al1 := run()
+	ms2, sim2, al2 := run()
+	if ms1 != ms2 {
+		t.Fatalf("makespans differ: %d vs %d", ms1, ms2)
+	}
+	if sim1 != sim2 {
+		t.Fatalf("sim stats differ:\n%+v\n%+v", sim1, sim2)
+	}
+	if al1 != al2 {
+		t.Fatalf("alloc stats differ:\n%+v\n%+v", al1, al2)
+	}
+	if sim1.AtomicCAS == 0 || sim1.CacheRFOs == 0 {
+		t.Fatalf("expected atomic and coherence traffic, got %+v", sim1)
+	}
+}
+
+// TestInspectConsistency checks the introspection snapshot against the
+// allocator's own counters after a churn that leaves blocks on both
+// the shared stack and the bump regions.
+func TestInspectConsistency(t *testing.T) {
+	e := sim.New(sim.Config{Processors: 2})
+	a := New(e, mem.NewSpace())
+	e.Go("t0", func(c *sim.Ctx) {
+		var refs []mem.Ref
+		for i := 0; i < 40; i++ {
+			refs = append(refs, a.Alloc(c, 64))
+		}
+		for _, r := range refs[:30] {
+			a.Free(c, r)
+		}
+	})
+	e.Run()
+	hi := a.Inspect()
+	st := a.Stats()
+	if hi.FreeBlocks != 30 {
+		t.Fatalf("FreeBlocks = %d, want 30", hi.FreeBlocks)
+	}
+	if hi.FreeBytes != 30*64 {
+		t.Fatalf("FreeBytes = %d, want %d", hi.FreeBytes, 30*64)
+	}
+	if hi.ReqBytes != st.ReqBytes || hi.GrantedBytes != st.GrantBytes {
+		t.Fatalf("req/granted drift: inspect %+v stats %+v", hi, st)
+	}
+	var live int64
+	for _, ar := range hi.Arenas {
+		live += ar.LiveBlocks
+	}
+	if live != st.LiveBlocks {
+		t.Fatalf("arena live blocks %d != stats %d", live, st.LiveBlocks)
+	}
+}

@@ -28,6 +28,11 @@ type CostModel struct {
 	LockHandoff int64
 	// TryLock is the price of a trylock attempt, successful or not.
 	TryLock int64
+	// Atomic is the price of one atomic read-modify-write instruction
+	// (CAS, fetch-and-add) or fenced store, on top of the cache traffic
+	// the operation's line access charges. Failed CAS attempts pay it
+	// too: the bus transaction happens whether or not the compare wins.
+	Atomic int64
 	// Spawn is the price, charged to the parent, of creating a thread.
 	Spawn int64
 	// Sbrk is the price of extending the simulated address space by one
@@ -51,6 +56,7 @@ func DefaultCost() CostModel {
 		LockRelease: 10,
 		LockHandoff: 120,
 		TryLock:     12,
+		Atomic:      14,
 		Spawn:       25_000,
 		Sbrk:        800,
 		Migration:   400,

@@ -98,6 +98,11 @@ type Engine struct {
 	// Stats can fold their counters into the engine aggregate.
 	channels   []*Channel
 	waitgroups []*WaitGroup
+
+	// atomics holds the value of every simulated atomic cell, keyed by
+	// byte address (see atomic.go). Lazily allocated; only the baton
+	// holder touches it, so no host locking is needed.
+	atomics map[uint64]int64
 }
 
 // New returns an engine for the given configuration.
@@ -353,6 +358,14 @@ type Stats struct {
 	// WaitGroup aggregates across every waitgroup on the engine.
 	WaitGroupWaits int64
 	WaitGroupDones int64
+	// Atomic-operation aggregates across every thread: CAS attempts
+	// (AtomicCASFailed is the subset whose compare lost), fetch-and-adds
+	// and plain atomic loads/stores (see atomic.go).
+	AtomicCAS       int64
+	AtomicCASFailed int64
+	AtomicFAA       int64
+	AtomicLoads     int64
+	AtomicStores    int64
 }
 
 // Stats returns aggregate statistics across all threads.
@@ -369,6 +382,11 @@ func (e *Engine) Stats() Stats {
 		st.LockContended += t.LockContended
 		st.LockWaitTime += t.LockWaitTime
 		st.Migrations += t.Migrations
+		st.AtomicCAS += t.AtomicCAS
+		st.AtomicCASFailed += t.AtomicCASFailed
+		st.AtomicFAA += t.AtomicFAA
+		st.AtomicLoads += t.AtomicLoads
+		st.AtomicStores += t.AtomicStores
 	}
 	for _, ch := range e.channels {
 		st.ChanSends += ch.Sends

@@ -65,6 +65,14 @@ type Thread struct {
 	// had cached but another processor's write invalidated.
 	CacheInvalidations int64
 	Migrations         int64
+	// Atomic-operation counters: CAS attempts (AtomicCASFailed is the
+	// subset whose compare lost), fetch-and-adds, and plain atomic
+	// loads/stores.
+	AtomicCAS       int64
+	AtomicCASFailed int64
+	AtomicFAA       int64
+	AtomicLoads     int64
+	AtomicStores    int64
 }
 
 // Name reports the thread's name.

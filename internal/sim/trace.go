@@ -37,9 +37,13 @@ const (
 	EvChanBlocked   // channel operation parked (Detail = channel, Arg1: 0 = send, 1 = recv)
 	EvWaitGroupWait // WaitGroup.Wait parked the caller
 	EvWaitGroupDone // WaitGroup.Done (Arg1 = remaining count)
+	EvAtomicCAS     // compare-and-swap on a simulated cell (Arg1 = addr, Arg2 = 1 on success)
+	EvAtomicFAA     // fetch-and-add on a simulated cell (Arg1 = addr, Arg2 = delta)
+	EvAtomicLoad    // atomic load of a simulated cell (Arg1 = addr)
+	EvAtomicStore   // atomic store to a simulated cell (Arg1 = addr)
 
 	// NumEventKinds is the size of the kind space (for per-kind tables).
-	NumEventKinds = int(EvWaitGroupDone) + 1
+	NumEventKinds = int(EvAtomicStore) + 1
 )
 
 // eventNames is dense, indexed by EventKind — the trace path does no
@@ -67,6 +71,10 @@ var eventNames = [NumEventKinds]string{
 	EvChanBlocked:   "chan-wait",
 	EvWaitGroupWait: "wg-wait",
 	EvWaitGroupDone: "wg-done",
+	EvAtomicCAS:     "cas",
+	EvAtomicFAA:     "faa",
+	EvAtomicLoad:    "atomic-load",
+	EvAtomicStore:   "atomic-store",
 }
 
 // String names the kind.

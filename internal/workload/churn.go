@@ -1,0 +1,128 @@
+package workload
+
+import (
+	"fmt"
+
+	"amplify/internal/alloc"
+	"amplify/internal/mem"
+	"amplify/internal/sim"
+)
+
+// The churn workload is the contention-scaling scenario the 2001 paper
+// could not explore: T threads hammering one size class with
+// alloc/write/free cycles, no structure reuse to hide behind. Work is
+// fixed per thread (a scaleup shape), so growing the thread count
+// grows the total pressure on whatever serializes the allocator —
+// mutexes for the lock-based designs, one atomic stack head for the
+// lock-free one. The who-wins crossover between those two families is
+// the headline of the contention experiment in EXPERIMENTS.md.
+
+// ChurnConfig parameterizes a contention churn run.
+type ChurnConfig struct {
+	// Threads is the number of worker threads; OpsPerThread is the
+	// fixed number of alloc/write/free cycles each performs.
+	Threads      int
+	OpsPerThread int
+	// Size is the request size; every allocation lands in one size
+	// class, maximizing collisions on that class's serialization point.
+	Size int64
+	// Processors simulated; zero means 8.
+	Processors int
+	// Work is extra per-cycle computation, diluting allocator cost the
+	// way application logic would. Zero means pure allocator pressure.
+	Work int64
+	// Tracer/TraceMask feed the simulator's event stream.
+	Tracer    sim.Tracer
+	TraceMask sim.Mask
+	// HeapObserver receives allocator events; when it implements
+	// alloc.Watcher it is attached before the run. Host-side only.
+	HeapObserver alloc.Observer
+}
+
+func (cfg ChurnConfig) withDefaults() ChurnConfig {
+	if cfg.Processors <= 0 {
+		cfg.Processors = 8
+	}
+	if cfg.Threads <= 0 {
+		cfg.Threads = 1
+	}
+	if cfg.OpsPerThread <= 0 {
+		cfg.OpsPerThread = 100
+	}
+	if cfg.Size <= 0 {
+		cfg.Size = 20
+	}
+	return cfg
+}
+
+// ChurnResult summarizes a churn run.
+type ChurnResult struct {
+	Strategy string
+	Config   ChurnConfig
+
+	// Makespan is the completion time of the slowest thread.
+	Makespan int64
+	// Sim aggregates lock, cache and atomic-operation statistics.
+	Sim sim.Stats
+	// Alloc are the allocator's counters.
+	Alloc alloc.Stats
+	// Footprint is the simulated memory consumption in bytes.
+	Footprint int64
+	// Heap is the allocator's post-run introspection snapshot.
+	Heap alloc.HeapInfo
+}
+
+// ChurnStrategies lists the allocators the contention experiment
+// compares: the lock-based field against the lock-free pool.
+func ChurnStrategies() []string {
+	return []string{"serial", "ptmalloc", "hoard", "lfalloc"}
+}
+
+// RunChurn executes the contention churn under the named allocator
+// (any registered alloc strategy) and returns its measurements.
+func RunChurn(strategy string, cfg ChurnConfig) (ChurnResult, error) {
+	cfg = cfg.withDefaults()
+	e := sim.New(sim.Config{Processors: cfg.Processors, Tracer: cfg.Tracer, TraceMask: cfg.TraceMask})
+	sp := mem.NewSpace()
+	res := ChurnResult{Strategy: strategy, Config: cfg}
+
+	a, err := alloc.New(strategy, e, sp, alloc.Options{Threads: cfg.Threads, Observer: cfg.HeapObserver})
+	if err != nil {
+		return res, err
+	}
+	watchHeap(cfg.HeapObserver, sp, a, nil)
+
+	// A two-sided start gate puts every worker into the churn at the
+	// same virtual instant: spawns are staggered by the spawn cost, so
+	// without the barrier each thread would finish its (short) churn
+	// before the next even started and no two ops would ever collide.
+	// WaitGroups charge nothing, so the gate adds no simulated work.
+	ready := e.NewWaitGroup()
+	gate := e.NewWaitGroup()
+	ready.Add(cfg.Threads)
+	gate.Add(1)
+	e.Go("main", func(c *sim.Ctx) {
+		for i := 0; i < cfg.Threads; i++ {
+			c.Go(fmt.Sprintf("churn%d", i), func(cc *sim.Ctx) {
+				ready.Done(cc)
+				gate.Wait(cc)
+				for op := 0; op < cfg.OpsPerThread; op++ {
+					r := a.Alloc(cc, cfg.Size)
+					cc.Write(uint64(r), 8)
+					if cfg.Work > 0 {
+						cc.Work(cfg.Work)
+					}
+					a.Free(cc, r)
+				}
+			})
+		}
+		ready.Wait(c)
+		gate.Done(c)
+	})
+	res.Makespan = e.Run()
+	res.Sim = e.Stats()
+	res.Alloc = a.Stats()
+	res.Footprint = sp.Footprint()
+	res.Heap = inspectHeap(a)
+	return res, nil
+}

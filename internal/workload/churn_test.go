@@ -1,0 +1,115 @@
+package workload
+
+import (
+	"testing"
+)
+
+// TestChurnAccounting checks the basic contract: every block allocated
+// is freed, for every strategy the contention grid compares.
+func TestChurnAccounting(t *testing.T) {
+	for _, s := range ChurnStrategies() {
+		t.Run(s, func(t *testing.T) {
+			res, err := RunChurn(s, ChurnConfig{Threads: 12, OpsPerThread: 40, Size: 48, Processors: 4})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Makespan <= 0 {
+				t.Fatalf("makespan = %d", res.Makespan)
+			}
+			if want := int64(12 * 40); res.Alloc.Allocs != want || res.Alloc.Frees != want {
+				t.Fatalf("allocs/frees = %d/%d, want %d", res.Alloc.Allocs, res.Alloc.Frees, want)
+			}
+			if res.Alloc.LiveBlocks != 0 {
+				t.Fatalf("leaked %d blocks", res.Alloc.LiveBlocks)
+			}
+		})
+	}
+}
+
+// TestChurnDeterminism runs the same contended churn twice per strategy
+// and requires identical makespans and statistics — for lfalloc this is
+// the atomics-under-virtual-time acceptance criterion exercised through
+// the same path the bench grid uses.
+func TestChurnDeterminism(t *testing.T) {
+	for _, s := range []string{"serial", "lfalloc"} {
+		t.Run(s, func(t *testing.T) {
+			cfg := ChurnConfig{Threads: 24, OpsPerThread: 30, Size: 48, Processors: 8}
+			r1, err := RunChurn(s, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r2, err := RunChurn(s, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r1.Makespan != r2.Makespan {
+				t.Fatalf("makespans differ: %d vs %d", r1.Makespan, r2.Makespan)
+			}
+			if r1.Sim != r2.Sim {
+				t.Fatalf("sim stats differ:\n%+v\n%+v", r1.Sim, r2.Sim)
+			}
+			if r1.Alloc != r2.Alloc {
+				t.Fatalf("alloc stats differ:\n%+v\n%+v", r1.Alloc, r2.Alloc)
+			}
+		})
+	}
+}
+
+// TestChurnContention checks the experiment measures what it claims
+// to: with the start gate, threads collide — the serial allocator sees
+// contended lock acquisitions, lfalloc sees CAS traffic with failures.
+func TestChurnContention(t *testing.T) {
+	serial, err := RunChurn("serial", ChurnConfig{Threads: 16, OpsPerThread: 40, Size: 48, Processors: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.Sim.LockContended == 0 {
+		t.Error("serial churn saw no lock contention — the start gate is not working")
+	}
+	lf, err := RunChurn("lfalloc", ChurnConfig{Threads: 16, OpsPerThread: 40, Size: 48, Processors: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lf.Sim.AtomicCAS == 0 {
+		t.Error("lfalloc churn issued no CAS operations")
+	}
+	if lf.Sim.AtomicCASFailed == 0 {
+		t.Error("lfalloc churn had no CAS failures — no actual contention")
+	}
+	if lf.Sim.CacheRFOs == 0 {
+		t.Error("lfalloc churn caused no RFO traffic")
+	}
+}
+
+// TestChurnLockFreeWins pins the headline: under contention the
+// lock-free allocator beats the global-lock baseline, and the win
+// grows with the thread count.
+func TestChurnLockFreeWins(t *testing.T) {
+	ratio := func(threads int) float64 {
+		cfg := ChurnConfig{Threads: threads, OpsPerThread: 30, Size: 48, Processors: 8}
+		serial, err := RunChurn("serial", cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lf, err := RunChurn("lfalloc", cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return float64(serial.Makespan) / float64(lf.Makespan)
+	}
+	low, high := ratio(8), ratio(64)
+	if low <= 1 {
+		t.Errorf("lfalloc did not beat serial at 8 threads: ratio %.2f", low)
+	}
+	if high <= low {
+		t.Errorf("lock-free win did not grow with threads: %.2f at 8 -> %.2f at 64", low, high)
+	}
+}
+
+// TestChurnUnknownStrategy surfaces registry errors instead of
+// panicking mid-run.
+func TestChurnUnknownStrategy(t *testing.T) {
+	if _, err := RunChurn("bogus", ChurnConfig{}); err == nil {
+		t.Fatal("expected error for unknown strategy")
+	}
+}

@@ -129,7 +129,7 @@ type Result struct {
 
 // Strategies lists the tree-workload strategy names.
 func Strategies() []string {
-	return []string{"serial", "ptmalloc", "hoard", "smartheap", "lkmalloc", "amplify", "objectpool", "handmade"}
+	return []string{"serial", "ptmalloc", "hoard", "smartheap", "lkmalloc", "lfalloc", "amplify", "objectpool", "handmade"}
 }
 
 // RunTree executes the synthetic tree program under the named strategy
@@ -142,7 +142,7 @@ func RunTree(strategy string, cfg TreeConfig) (Result, error) {
 	res := Result{Strategy: strategy, Config: cfg}
 
 	switch strategy {
-	case "serial", "ptmalloc", "hoard", "smartheap", "lkmalloc":
+	case "serial", "ptmalloc", "hoard", "smartheap", "lkmalloc", "lfalloc":
 		a, err := alloc.New(strategy, e, sp, alloc.Options{Threads: cfg.Threads, Arenas: cfg.Arenas, Observer: cfg.HeapObserver})
 		if err != nil {
 			return res, err

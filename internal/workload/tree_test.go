@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	_ "amplify/internal/hoard"
+	_ "amplify/internal/lfalloc"
 	_ "amplify/internal/lkmalloc"
 	_ "amplify/internal/ptmalloc"
 	_ "amplify/internal/serial"
