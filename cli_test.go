@@ -7,13 +7,15 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"amplify/internal/alloctrace"
 )
 
-// buildTools compiles the three CLIs once per test binary.
+// buildTools compiles the four CLIs once per test binary.
 func buildTools(t *testing.T) string {
 	t.Helper()
 	dir := t.TempDir()
-	for _, tool := range []string{"amplify", "mccrun", "amplifybench"} {
+	for _, tool := range []string{"amplify", "mccrun", "amplifybench", "mcctrace"} {
 		out := filepath.Join(dir, tool)
 		cmd := exec.Command("go", "build", "-o", out, "./cmd/"+tool)
 		cmd.Env = os.Environ()
@@ -555,5 +557,136 @@ int main() {
 	}
 	if !strings.Contains(string(out), "ok") {
 		t.Errorf("clean program output = %q", out)
+	}
+}
+
+// TestCLIEngineFailFast: a typo'd -engine name must fail immediately —
+// before the program file is even read — naming the valid engines.
+func TestCLIEngineFailFast(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bin := buildTools(t)
+
+	// The program path does not exist: if the engine check ran after
+	// reading the input, the error would be about the file instead.
+	out, err := exec.Command(filepath.Join(bin, "mccrun"), "-engine", "turbo", "missing.mcc").CombinedOutput()
+	if exitErr, ok := err.(*exec.ExitError); !ok || exitErr.ExitCode() != 1 {
+		t.Fatalf("mccrun unknown -engine: err = %v (want exit 1)\n%s", err, out)
+	}
+	text := string(out)
+	for _, want := range []string{`"turbo"`, "vm", "closure", "ast"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("mccrun -engine error missing %q:\n%s", want, text)
+		}
+	}
+	if strings.Contains(text, "missing.mcc") {
+		t.Errorf("engine validation ran after reading the input:\n%s", text)
+	}
+
+	// Valid engines still run.
+	srcPath := filepath.Join(t.TempDir(), "prog.mcc")
+	if err := os.WriteFile(srcPath, []byte(cliProgram), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, engine := range []string{"vm", "closure", "ast"} {
+		out, err := exec.Command(filepath.Join(bin, "mccrun"), "-engine", engine, srcPath).CombinedOutput()
+		if err != nil {
+			t.Fatalf("mccrun -engine %s: %v\n%s", engine, err, out)
+		}
+	}
+}
+
+// TestCLIRecordTrace: mccrun -record-trace captures a decodable,
+// attributed allocation trace with a JSONL mirror, and mcctrace can
+// analyze and replay the captured file.
+func TestCLIRecordTrace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bin := buildTools(t)
+	dir := t.TempDir()
+	srcPath := filepath.Join(dir, "prog.mcc")
+	if err := os.WriteFile(srcPath, []byte(cliProgram), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tracePath := filepath.Join(dir, "prog.trace")
+
+	out, err := exec.Command(filepath.Join(bin, "mccrun"), "-record-trace", tracePath, srcPath).CombinedOutput()
+	if err != nil {
+		t.Fatalf("mccrun -record-trace: %v\n%s", err, out)
+	}
+	raw, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := alloctrace.Decode(raw)
+	if err != nil {
+		t.Fatalf("captured trace does not decode: %v", err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("captured trace invalid: %v", err)
+	}
+	st := tr.Stats()
+	if st.Allocs == 0 || st.Frees == 0 {
+		t.Errorf("captured trace is empty: %+v", st)
+	}
+	attributed := false
+	for _, s := range tr.Sites {
+		if strings.Contains(s, "(Node)") {
+			attributed = true
+		}
+	}
+	if !attributed {
+		t.Errorf("captured trace sites carry no MiniCC attribution: %v", tr.Sites)
+	}
+	if _, err := os.Stat(tracePath + ".jsonl"); err != nil {
+		t.Errorf("JSONL mirror missing: %v", err)
+	}
+
+	// mcctrace analyze prints the shape summary for the captured file.
+	out, err = exec.Command(filepath.Join(bin, "mcctrace"), "analyze", tracePath).CombinedOutput()
+	if err != nil {
+		t.Fatalf("mcctrace analyze: %v\n%s", err, out)
+	}
+	for _, want := range []string{"size histogram", "lifetime", "(Node)"} {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("analyze output missing %q:\n%s", want, out)
+		}
+	}
+
+	// mcctrace replay drives the captured trace through another
+	// allocator on the simulated machine.
+	out, err = exec.Command(filepath.Join(bin, "mcctrace"), "replay", "-alloc", "ptmalloc", tracePath).CombinedOutput()
+	if err != nil {
+		t.Fatalf("mcctrace replay: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "ptmalloc") || !strings.Contains(string(out), "makespan") {
+		t.Errorf("replay output missing result line:\n%s", out)
+	}
+}
+
+// TestCLITraceGenMatchesCommitted: `mcctrace gen` into a scratch
+// directory reproduces the committed corpora manifest byte for byte.
+func TestCLITraceGenMatchesCommitted(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bin := buildTools(t)
+	dir := t.TempDir()
+	out, err := exec.Command(filepath.Join(bin, "mcctrace"), "gen", "-dir", dir).CombinedOutput()
+	if err != nil {
+		t.Fatalf("mcctrace gen: %v\n%s", err, out)
+	}
+	got, err := os.ReadFile(filepath.Join(dir, "SHA256SUMS"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(filepath.Join("testdata", "traces", "SHA256SUMS"))
+	if err != nil {
+		t.Fatalf("committed manifest missing: %v (run `go run ./cmd/mcctrace gen`)", err)
+	}
+	if string(got) != string(want) {
+		t.Errorf("regenerated corpora manifest differs from committed:\n--- got ---\n%s--- want ---\n%s", got, want)
 	}
 }

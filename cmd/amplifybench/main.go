@@ -15,7 +15,7 @@
 //	              (default: the host's CPU count; output is identical
 //	              for every N — only wall-clock changes)
 //	-json         emit a machine-readable BENCH report (schema
-//	              amplify-bench/6) on stdout instead of text
+//	              amplify-bench/7) on stdout instead of text
 //	-alloc list   comma-separated allocators for the contend experiment
 //	              (default serial,ptmalloc,hoard,lfalloc); unknown names
 //	              fail fast with the registered strategies
@@ -147,7 +147,7 @@ func run() error {
 	}
 	var todo []string
 	if *exp == "all" {
-		todo = []string{"table1", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "claims", "memory", "pipeline", "sensitivity", "escape", "scale", "contend", "endtoend"}
+		todo = []string{"table1", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "claims", "memory", "pipeline", "sensitivity", "escape", "scale", "contend", "replay", "endtoend"}
 	} else {
 		todo = strings.Split(*exp, ",")
 	}

@@ -40,6 +40,10 @@
 //	-heap-profile f write pprof-style folded stacks attributing allocated
 //	              bytes to MiniCC allocation sites (vm engine only); a
 //	              per-site table goes to f.sites
+//	-record-trace f write the run's allocator request stream as a binary
+//	              allocation trace (internal/alloctrace format, vm engine
+//	              only) with a JSONL mirror at f.jsonl; replay it through
+//	              any allocator with mcctrace replay
 //	-metrics f    write a JSON metrics snapshot of the run
 //
 // The program's print() output goes to stdout; the exit code is main's
@@ -57,6 +61,7 @@ import (
 	"strings"
 
 	"amplify/internal/alloc"
+	"amplify/internal/alloctrace"
 	"amplify/internal/core"
 	"amplify/internal/heapobsv"
 	"amplify/internal/interp"
@@ -79,7 +84,7 @@ type runResult struct {
 }
 
 func main() {
-	code, err := run()
+	code, err := run(os.Args[1:])
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mccrun:", err)
 		os.Exit(1)
@@ -91,38 +96,47 @@ func main() {
 // int is the simulated program's exit code; any error — including a
 // failed artifact write after a successful run — makes mccrun exit
 // non-zero instead of silently reporting the program's status.
-func run() (int, error) {
-	allocName := flag.String("alloc", "serial", "allocator: serial | ptmalloc | hoard | smartheap | lkmalloc | lfalloc")
-	engine := flag.String("engine", "vm", "execution engine: vm (bytecode dispatch loop) | closure (bytecode compiled to chained Go closures) | ast (tree-walking)")
-	procs := flag.Int("procs", 8, "simulated processors")
-	amplify := flag.Bool("amplify", false, "pre-process with Amplify before running")
-	arraysOnly := flag.Bool("arrays-only", false, "with -amplify: only shadow data arrays")
-	mode := flag.String("mode", "shadow", "with -amplify: shadow | flag")
-	noOpt := flag.Bool("no-opt", false, "with -engine vm: disable the bytecode optimizer")
-	stats := flag.Bool("stats", false, "print execution statistics to stderr")
-	trace := flag.Int("trace", 0, "print the first N simulation events to stderr")
-	traceOut := flag.String("trace-out", "", "write a Chrome trace_event JSON file of the run")
-	traceJSONL := flag.String("trace-jsonl", "", "write the simulation events as compact JSON lines")
-	profileOut := flag.String("profile-out", "", "write folded stacks of simulated cycles (vm engine only); per-lock profile goes to <file>.locks")
-	heapTimeline := flag.String("heap-timeline", "", "write a virtual-time heap timeline (vm engine only); JSONL, or CSV when the file ends in .csv")
-	heapInterval := flag.Int64("heap-interval", heapobsv.DefaultInterval, "heap-timeline sampling period in cycles")
-	heapProfile := flag.String("heap-profile", "", "write folded stacks of allocated bytes per MiniCC site (vm engine only); per-site table goes to <file>.sites")
-	metricsOut := flag.String("metrics", "", "write a JSON metrics snapshot of the run")
-	vetFirst := flag.Bool("vet", false, "lint the program before running; refuse to run on errors")
-	escape := flag.Bool("escape", false, "with -amplify: apply the escape-analysis-driven rewrites")
-	flag.Parse()
+func run(args []string) (int, error) {
+	fs := flag.NewFlagSet("mccrun", flag.ExitOnError)
+	allocName := fs.String("alloc", "serial", "allocator: serial | ptmalloc | hoard | smartheap | lkmalloc | lfalloc")
+	engine := fs.String("engine", "vm", "execution engine: vm (bytecode dispatch loop) | closure (bytecode compiled to chained Go closures) | ast (tree-walking)")
+	procs := fs.Int("procs", 8, "simulated processors")
+	amplify := fs.Bool("amplify", false, "pre-process with Amplify before running")
+	arraysOnly := fs.Bool("arrays-only", false, "with -amplify: only shadow data arrays")
+	mode := fs.String("mode", "shadow", "with -amplify: shadow | flag")
+	noOpt := fs.Bool("no-opt", false, "with -engine vm: disable the bytecode optimizer")
+	stats := fs.Bool("stats", false, "print execution statistics to stderr")
+	trace := fs.Int("trace", 0, "print the first N simulation events to stderr")
+	traceOut := fs.String("trace-out", "", "write a Chrome trace_event JSON file of the run")
+	traceJSONL := fs.String("trace-jsonl", "", "write the simulation events as compact JSON lines")
+	profileOut := fs.String("profile-out", "", "write folded stacks of simulated cycles (vm engine only); per-lock profile goes to <file>.locks")
+	heapTimeline := fs.String("heap-timeline", "", "write a virtual-time heap timeline (vm engine only); JSONL, or CSV when the file ends in .csv")
+	heapInterval := fs.Int64("heap-interval", heapobsv.DefaultInterval, "heap-timeline sampling period in cycles")
+	heapProfile := fs.String("heap-profile", "", "write folded stacks of allocated bytes per MiniCC site (vm engine only); per-site table goes to <file>.sites")
+	recordTrace := fs.String("record-trace", "", "write the allocator request stream as a binary allocation trace (vm engine only); JSONL mirror goes to <file>.jsonl")
+	metricsOut := fs.String("metrics", "", "write a JSON metrics snapshot of the run")
+	vetFirst := fs.Bool("vet", false, "lint the program before running; refuse to run on errors")
+	escape := fs.Bool("escape", false, "with -amplify: apply the escape-analysis-driven rewrites")
+	if err := fs.Parse(args); err != nil {
+		return 0, err
+	}
 
-	if flag.NArg() != 1 {
+	if fs.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: mccrun [flags] program.mcc  (use - for stdin)")
-		flag.PrintDefaults()
+		fs.PrintDefaults()
 		os.Exit(2)
 	}
-	// Fail fast on a typo'd allocator name — before the program is read,
-	// parsed or simulated — with the list of registered strategies.
+	// Fail fast on a typo'd allocator or engine name — before the
+	// program is read, parsed or simulated — with the valid choices.
 	if err := alloc.Valid(*allocName); err != nil {
 		return 0, err
 	}
-	src, err := readInput(flag.Arg(0))
+	switch *engine {
+	case "vm", "closure", "ast":
+	default:
+		return 0, fmt.Errorf("unknown engine %q (want vm, closure or ast)", *engine)
+	}
+	src, err := readInput(fs.Arg(0))
 	if err != nil {
 		return 0, err
 	}
@@ -165,6 +179,7 @@ func run() (int, error) {
 		{"-profile-out", *profileOut},
 		{"-heap-timeline", *heapTimeline},
 		{"-heap-profile", *heapProfile},
+		{"-record-trace", *recordTrace},
 	} {
 		if f.val != "" && *engine == "ast" {
 			return 0, fmt.Errorf("%s needs -engine vm or closure (the ast engine has no observer hooks)", f.name)
@@ -188,6 +203,10 @@ func run() (int, error) {
 	var sites *heapobsv.SiteProfile
 	if *heapProfile != "" {
 		sites = heapobsv.NewSiteProfile()
+	}
+	var recorder *alloctrace.Recorder
+	if *recordTrace != "" {
+		recorder = alloctrace.NewRecorder(fs.Arg(0))
 	}
 	var res runResult
 	switch *engine {
@@ -215,11 +234,25 @@ func run() (int, error) {
 		}
 		// Assign through the typed nil checks: a nil *Timeline stored in
 		// the interface field would defeat the engine's one-branch guard.
-		if timeline != nil {
+		// When both a timeline and a trace recorder are requested, the
+		// single observer slot fans out through heapobsv.Multi; likewise
+		// the profiler slot tees to the site profile and the recorder's
+		// site-attribution hooks.
+		switch {
+		case timeline != nil && recorder != nil:
+			vcfg.HeapObserver = heapobsv.Multi{timeline, recorder}
+		case timeline != nil:
 			vcfg.HeapObserver = timeline
+		case recorder != nil:
+			vcfg.HeapObserver = recorder
 		}
-		if sites != nil {
+		switch {
+		case sites != nil && recorder != nil:
+			vcfg.HeapProf = heapobsv.ProfTee{sites, recorder}
+		case sites != nil:
 			vcfg.HeapProf = sites
+		case recorder != nil:
+			vcfg.HeapProf = recorder
 		}
 		r, err := vm.RunSource(src, vcfg)
 		if err != nil {
@@ -242,6 +275,18 @@ func run() (int, error) {
 	if err := writeArtifacts(rec, prof, timeline, sites, res, *procs,
 		*traceOut, *traceJSONL, *profileOut, *heapTimeline, *heapProfile, *metricsOut); err != nil {
 		return 0, err
+	}
+	if *recordTrace != "" {
+		tr := recorder.Trace()
+		if err := tr.Validate(); err != nil {
+			return 0, fmt.Errorf("recorded trace failed validation: %w", err)
+		}
+		if err := os.WriteFile(*recordTrace, tr.Encode(), 0o644); err != nil {
+			return 0, err
+		}
+		if err := os.WriteFile(*recordTrace+".jsonl", tr.JSONL(), 0o644); err != nil {
+			return 0, err
+		}
 	}
 	if *stats {
 		fmt.Fprintf(os.Stderr, "execution statistics (%s engine)\n", *engine)

@@ -1,6 +1,9 @@
 package alloc
 
-import "amplify/internal/mem"
+import (
+	"amplify/internal/mem"
+	"amplify/internal/sim"
+)
 
 // ObsOp identifies one observed allocator or pool event.
 type ObsOp uint8
@@ -54,6 +57,39 @@ func (op ObsOp) String() string {
 // observer pays one untaken branch per operation.
 type Observer interface {
 	Observe(now int64, op ObsOp, bytes int64)
+}
+
+// TraceObserver is an Observer that wants the full identity of every
+// allocator operation: the calling thread, requested vs granted bytes,
+// and the block reference. Allocators emit Alloc/Free through
+// EmitAlloc/EmitFree, which upgrade to this interface when the attached
+// observer implements it (alloctrace.Recorder does); plain observers
+// keep receiving the ObsAlloc/ObsFree summary events unchanged.
+type TraceObserver interface {
+	Observer
+	ObserveAlloc(now int64, thread int, req, granted int64, ref mem.Ref)
+	ObserveFree(now int64, thread int, granted int64, ref mem.Ref)
+}
+
+// EmitAlloc reports one completed allocation to o: req bytes were
+// requested, granted usable bytes were returned at ref. Callers
+// nil-check o first — a run without an observer pays one untaken
+// branch. Like Observe, emission charges no simulated work.
+func EmitAlloc(o Observer, c *sim.Ctx, req, granted int64, ref mem.Ref) {
+	if t, ok := o.(TraceObserver); ok {
+		t.ObserveAlloc(c.Now(), c.ThreadID(), req, granted, ref)
+		return
+	}
+	o.Observe(c.Now(), ObsAlloc, granted)
+}
+
+// EmitFree reports one completed free of the granted-byte block at ref.
+func EmitFree(o Observer, c *sim.Ctx, granted int64, ref mem.Ref) {
+	if t, ok := o.(TraceObserver); ok {
+		t.ObserveFree(c.Now(), c.ThreadID(), granted, ref)
+		return
+	}
+	o.Observe(c.Now(), ObsFree, granted)
 }
 
 // Watcher is an Observer that additionally pulls gauge snapshots

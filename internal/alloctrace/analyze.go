@@ -1,0 +1,230 @@
+package alloctrace
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/bits"
+	"sort"
+	"strings"
+)
+
+// Analysis is the deterministic shape summary of one trace: what the
+// optimizer's profile pass would read off a production capture before
+// deciding which allocator and pool policy to synthesize. Every field
+// is a pure function of the trace, so the text and JSON renderings are
+// byte-stable across runs and platforms.
+type Analysis struct {
+	Name  string `json:"name"`
+	Stats Stats  `json:"stats"`
+
+	// SizeHist buckets allocation requests by power-of-two class.
+	SizeHist []SizeBucket `json:"size_hist"`
+
+	// Lifetime quantiles are in virtual-time units between an object's
+	// alloc and free events (leaked objects are excluded). Capture
+	// timestamps interleave per-thread clocks, so a cross-thread free
+	// can carry a smaller stamp than its alloc; such lifetimes clamp
+	// to zero.
+	LifetimeP50 int64 `json:"lifetime_p50"`
+	LifetimeP90 int64 `json:"lifetime_p90"`
+	LifetimeP99 int64 `json:"lifetime_p99"`
+	LifetimeMax int64 `json:"lifetime_max"`
+
+	// InterArrivalMean is the mean virtual-time gap between consecutive
+	// allocations on the same thread (allocation pressure).
+	InterArrivalMean float64 `json:"inter_arrival_mean"`
+
+	Threads []ThreadBreakdown `json:"threads"`
+	Sites   []SiteBreakdown   `json:"sites"`
+}
+
+// SizeBucket is one power-of-two size class of the request histogram.
+type SizeBucket struct {
+	// Max is the bucket's inclusive upper bound (16, 32, 64, ...).
+	Max    int64 `json:"max"`
+	Allocs int64 `json:"allocs"`
+	Bytes  int64 `json:"bytes"`
+}
+
+// ThreadBreakdown is one thread's share of the trace.
+type ThreadBreakdown struct {
+	Name     string `json:"name"`
+	Allocs   int64  `json:"allocs"`
+	Frees    int64  `json:"frees"`
+	ReqBytes int64  `json:"req_bytes"`
+	// CrossFrees counts frees this thread issued for blocks another
+	// thread allocated.
+	CrossFrees int64 `json:"cross_frees"`
+}
+
+// SiteBreakdown is one allocation site's share of the trace. Traces
+// captured without VM site attribution fold everything into the
+// unknown site.
+type SiteBreakdown struct {
+	Site     string `json:"site"`
+	Allocs   int64  `json:"allocs"`
+	ReqBytes int64  `json:"req_bytes"`
+}
+
+// Analyze computes the trace's shape summary.
+func Analyze(tr *Trace) *Analysis {
+	a := &Analysis{Name: tr.Name, Stats: tr.Stats()}
+
+	hist := map[int64]*SizeBucket{}
+	a.Threads = make([]ThreadBreakdown, len(tr.Threads))
+	for i, t := range tr.Threads {
+		a.Threads[i].Name = t
+	}
+	siteAgg := make([]SiteBreakdown, len(tr.Sites))
+	for i, s := range tr.Sites {
+		siteAgg[i].Site = s
+		if s == "" {
+			siteAgg[i].Site = "(unknown)"
+		}
+	}
+
+	var lifetimes []int64
+	var gapSum float64
+	var gapN int64
+	lastAlloc := make([]int64, len(tr.Threads)) // per-thread last alloc Now
+	seenAlloc := make([]bool, len(tr.Threads))
+
+	for i := range tr.Events {
+		ev := &tr.Events[i]
+		th := &a.Threads[ev.Thread]
+		if ev.Op == OpAlloc {
+			th.Allocs++
+			th.ReqBytes += ev.Req
+			siteAgg[ev.Site].Allocs++
+			siteAgg[ev.Site].ReqBytes += ev.Req
+			max := bucketMax(ev.Req)
+			bk := hist[max]
+			if bk == nil {
+				bk = &SizeBucket{Max: max}
+				hist[max] = bk
+			}
+			bk.Allocs++
+			bk.Bytes += ev.Req
+			if seenAlloc[ev.Thread] {
+				gapSum += float64(ev.Now - lastAlloc[ev.Thread])
+				gapN++
+			}
+			seenAlloc[ev.Thread] = true
+			lastAlloc[ev.Thread] = ev.Now
+		} else {
+			al := &tr.Events[ev.AllocSeq]
+			th.Frees++
+			if al.Thread != ev.Thread {
+				th.CrossFrees++
+			}
+			lt := ev.Now - al.Now
+			if lt < 0 {
+				lt = 0
+			}
+			lifetimes = append(lifetimes, lt)
+		}
+	}
+
+	for _, bk := range hist {
+		a.SizeHist = append(a.SizeHist, *bk)
+	}
+	sort.Slice(a.SizeHist, func(i, j int) bool { return a.SizeHist[i].Max < a.SizeHist[j].Max })
+
+	// Sites sort by allocation count descending (name breaks ties) so
+	// the hottest site leads; empty sites are dropped.
+	for _, s := range siteAgg {
+		if s.Allocs > 0 {
+			a.Sites = append(a.Sites, s)
+		}
+	}
+	sort.Slice(a.Sites, func(i, j int) bool {
+		if a.Sites[i].Allocs != a.Sites[j].Allocs {
+			return a.Sites[i].Allocs > a.Sites[j].Allocs
+		}
+		return a.Sites[i].Site < a.Sites[j].Site
+	})
+
+	if len(lifetimes) > 0 {
+		sort.Slice(lifetimes, func(i, j int) bool { return lifetimes[i] < lifetimes[j] })
+		a.LifetimeP50 = quantile(lifetimes, 50)
+		a.LifetimeP90 = quantile(lifetimes, 90)
+		a.LifetimeP99 = quantile(lifetimes, 99)
+		a.LifetimeMax = lifetimes[len(lifetimes)-1]
+	}
+	if gapN > 0 {
+		a.InterArrivalMean = gapSum / float64(gapN)
+	}
+	return a
+}
+
+// bucketMax returns the inclusive upper bound of n's power-of-two size
+// class, starting at 16.
+func bucketMax(n int64) int64 {
+	if n <= 16 {
+		return 16
+	}
+	return int64(1) << bits.Len64(uint64(n-1))
+}
+
+// quantile returns the p-th percentile of sorted (nearest-rank).
+func quantile(sorted []int64, p int) int64 {
+	idx := (len(sorted)*p + 99) / 100
+	if idx > 0 {
+		idx--
+	}
+	return sorted[idx]
+}
+
+// String renders the deterministic human-readable report.
+func (a *Analysis) String() string {
+	var b strings.Builder
+	s := a.Stats
+	fmt.Fprintf(&b, "trace %s: %d events (%d allocs, %d frees, %d leaked)\n",
+		a.Name, s.Events, s.Allocs, s.Frees, s.Leaked)
+	fmt.Fprintf(&b, "  bytes: %d requested, %d granted (internal frag %.1f%%)\n",
+		s.ReqBytes, s.GrantedBytes, 100*(1-safeRatio(s.ReqBytes, s.GrantedBytes)))
+	fmt.Fprintf(&b, "  peak live: %d objects, %d bytes; cross-thread frees: %d (%.1f%% of frees)\n",
+		s.PeakLiveObjects, s.PeakLiveBytes, s.CrossThreadFrees, 100*safeRatio(s.CrossThreadFrees, s.Frees))
+	fmt.Fprintf(&b, "  lifetimes (virtual time): p50=%d p90=%d p99=%d max=%d; alloc inter-arrival mean=%.1f\n",
+		a.LifetimeP50, a.LifetimeP90, a.LifetimeP99, a.LifetimeMax, a.InterArrivalMean)
+	b.WriteString("  size histogram (req bytes):\n")
+	for _, bk := range a.SizeHist {
+		fmt.Fprintf(&b, "    <=%-6d %8d allocs %10d bytes  %s\n",
+			bk.Max, bk.Allocs, bk.Bytes, bar(bk.Allocs, s.Allocs))
+	}
+	b.WriteString("  threads:\n")
+	for _, t := range a.Threads {
+		fmt.Fprintf(&b, "    %-4s %8d allocs %8d frees %10d bytes  cross-frees %d\n",
+			t.Name, t.Allocs, t.Frees, t.ReqBytes, t.CrossFrees)
+	}
+	b.WriteString("  top sites:\n")
+	for i, st := range a.Sites {
+		if i == 10 {
+			fmt.Fprintf(&b, "    ... %d more\n", len(a.Sites)-10)
+			break
+		}
+		fmt.Fprintf(&b, "    %-28s %8d allocs %10d bytes\n", st.Site, st.Allocs, st.ReqBytes)
+	}
+	return b.String()
+}
+
+// JSON renders the analysis as deterministic indented JSON.
+func (a *Analysis) JSON() ([]byte, error) {
+	return json.MarshalIndent(a, "", "  ")
+}
+
+func safeRatio(num, den int64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}
+
+// bar renders a proportional 20-cell histogram bar.
+func bar(n, total int64) string {
+	if total == 0 {
+		return ""
+	}
+	cells := int(20 * n / total)
+	return strings.Repeat("#", cells)
+}

@@ -1,0 +1,49 @@
+package alloctrace
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestCommittedCorporaMatchSynthesizers pins the files under
+// testdata/traces/ to the in-tree synthesizers: a drifted synthesizer
+// (or a hand-edited trace file) fails here, and the fix is to re-run
+// `mcctrace gen` and commit the result. CI double-checks the same
+// invariant through the SHA256SUMS manifest.
+func TestCommittedCorporaMatchSynthesizers(t *testing.T) {
+	dir := filepath.Join("..", "..", "testdata", "traces")
+	if _, err := os.Stat(dir); err != nil {
+		t.Fatalf("committed corpora missing: %v (run `go run ./cmd/mcctrace gen`)", err)
+	}
+	for _, name := range CorpusNames() {
+		tr, err := Corpus(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bin, err := os.ReadFile(filepath.Join(dir, name+".trace"))
+		if err != nil {
+			t.Fatalf("%s: %v (run `go run ./cmd/mcctrace gen`)", name, err)
+		}
+		if !bytes.Equal(bin, tr.Encode()) {
+			t.Errorf("%s.trace differs from its synthesizer output; re-run `go run ./cmd/mcctrace gen`", name)
+		}
+		jsonl, err := os.ReadFile(filepath.Join(dir, name+".trace.jsonl"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(jsonl, tr.JSONL()) {
+			t.Errorf("%s.trace.jsonl differs from its synthesizer output", name)
+		}
+		// The committed binary must round-trip through Decode back to
+		// the identical byte stream.
+		dec, err := Decode(bin)
+		if err != nil {
+			t.Fatalf("%s: committed trace does not decode: %v", name, err)
+		}
+		if !bytes.Equal(dec.Encode(), bin) {
+			t.Errorf("%s: decode→encode is not the identity", name)
+		}
+	}
+}

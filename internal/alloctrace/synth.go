@@ -1,0 +1,359 @@
+package alloctrace
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// This file synthesizes the committed trace corpora from the
+// allocation-behavior shapes the "Heap vs. Stack" study (Darashkevich &
+// Korostinskiy, PAPERS.md) documents for real C/C++ programs: request
+// sizes overwhelmingly small with a long tail, lifetimes heavily skewed
+// short with a long-lived residue, and distinct per-program shapes —
+// server session churn, small-object dominance, fragmentation-inducing
+// interleavings, producer-consumer handoffs. Each corpus is a pure
+// function of its hard-coded parameters and the splitmix64 stream, so
+// the committed artifacts under testdata/traces/ are reproducible
+// byte-for-byte (a test and a CI checksum pin both enforce it).
+
+// rng is a splitmix64 generator: tiny, deterministic and identical on
+// every platform (no math/rand dependency to drift across Go versions).
+type rng struct{ state uint64 }
+
+func (r *rng) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// intn returns a uniform int in [0, n).
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// rangeI64 returns a uniform int64 in [lo, hi].
+func (r *rng) rangeI64(lo, hi int64) int64 {
+	return lo + int64(r.next()%uint64(hi-lo+1))
+}
+
+// synthOp is one operation of a corpus under construction: allocations
+// carry a per-corpus handle that frees reference, so the builder can
+// describe lifetimes before global event order exists.
+type synthOp struct {
+	alloc  bool
+	handle int
+	site   string
+	req    int64
+	clock  int64
+	thread int
+	seq    int // per-thread sequence, for the order invariant
+}
+
+// builder accumulates per-thread op streams with per-thread clocks.
+type builder struct {
+	rng     rng
+	ops     []synthOp
+	clock   []int64 // per-thread virtual clock
+	seq     []int   // per-thread op count
+	handles int
+}
+
+func newBuilder(seed uint64, threads int) *builder {
+	return &builder{rng: rng{state: seed}, clock: make([]int64, threads), seq: make([]int, threads)}
+}
+
+// think advances a thread's clock by a uniform draw from [lo, hi]
+// (application work between allocator calls).
+func (b *builder) think(thread int, lo, hi int64) {
+	b.clock[thread] += b.rng.rangeI64(lo, hi)
+}
+
+// alloc appends an allocation on thread and returns its handle.
+func (b *builder) alloc(thread int, site string, req int64) int {
+	h := b.handles
+	b.handles++
+	b.clock[thread]++
+	b.ops = append(b.ops, synthOp{alloc: true, handle: h, site: site, req: req,
+		clock: b.clock[thread], thread: thread, seq: b.seq[thread]})
+	b.seq[thread]++
+	return h
+}
+
+// free appends a free of handle on thread. Cross-thread frees bump the
+// freeing thread's clock past the allocation's, preserving the
+// alloc-before-free global order the format requires.
+func (b *builder) free(thread, handle int) {
+	b.clock[thread]++
+	b.ops = append(b.ops, synthOp{handle: handle, clock: b.clock[thread], thread: thread, seq: b.seq[thread]})
+	b.seq[thread]++
+}
+
+// syncPast raises thread's clock to at least the allocating thread's
+// clock at handle-creation time plus delta (the handoff latency).
+func (b *builder) syncPast(thread int, allocClock, delta int64) {
+	if b.clock[thread] < allocClock+delta {
+		b.clock[thread] = allocClock + delta
+	}
+}
+
+// build merges the per-thread streams into a Trace: events sort by
+// (clock, thread) — per-thread clocks are strictly increasing, so
+// per-thread order is preserved — then free back-references resolve
+// against the merged order.
+func (b *builder) build(name string, threads int) *Trace {
+	ops := b.ops
+	sort.SliceStable(ops, func(i, j int) bool {
+		if ops[i].clock != ops[j].clock {
+			return ops[i].clock < ops[j].clock
+		}
+		if ops[i].thread != ops[j].thread {
+			return ops[i].thread < ops[j].thread
+		}
+		return ops[i].seq < ops[j].seq
+	})
+	tr := &Trace{Name: name, Sites: []string{""}}
+	for i := 0; i < threads; i++ {
+		tr.Threads = append(tr.Threads, fmt.Sprintf("t%d", i))
+	}
+	sites := map[string]int32{"": 0}
+	allocIdx := make(map[int]int64, b.handles)
+	for i, op := range ops {
+		if op.alloc {
+			si, ok := sites[op.site]
+			if !ok {
+				si = int32(len(tr.Sites))
+				sites[op.site] = si
+				tr.Sites = append(tr.Sites, op.site)
+			}
+			allocIdx[op.handle] = int64(i)
+			tr.Events = append(tr.Events, Event{
+				Op: OpAlloc, Thread: int32(op.thread), Now: op.clock,
+				Site: si, Req: op.req, Granted: (op.req + 15) &^ 15,
+			})
+		} else {
+			tr.Events = append(tr.Events, Event{
+				Op: OpFree, Thread: int32(op.thread), Now: op.clock,
+				AllocSeq: allocIdx[op.handle],
+			})
+		}
+	}
+	if err := tr.Validate(); err != nil {
+		panic("alloctrace: synthesized corpus invalid: " + err.Error())
+	}
+	return tr
+}
+
+// synthWebSession models web-server session churn: six worker threads
+// each serving a stream of sessions; a session allocates a connection
+// object, then a burst of request objects (header + log-uniform body +
+// small strings) per request, freeing each request LIFO at its end and
+// the connection at session close. ~1% of connections leak (the study's
+// long-lived residue). Small objects dominate counts, bodies dominate
+// bytes.
+func synthWebSession() *Trace {
+	const threads, sessions = 6, 100
+	b := newBuilder(0x5e55104e5e551001, threads)
+	for t := 0; t < threads; t++ {
+		var leaked []int
+		for s := 0; s < sessions; s++ {
+			conn := b.alloc(t, "session.accept", 208)
+			requests := 3 + b.rng.intn(6)
+			for q := 0; q < requests; q++ {
+				var objs []int
+				objs = append(objs, b.alloc(t, "request.header", 48))
+				b.think(t, 40, 120)
+				// Body size is log-uniform over [64, 2048]: pick a
+				// power-of-two decade, then a uniform offset inside it.
+				decade := int64(64) << b.rng.intn(5)
+				objs = append(objs, b.alloc(t, "request.body", b.rng.rangeI64(decade, 2*decade)))
+				for k, strs := 0, 1+b.rng.intn(3); k < strs; k++ {
+					objs = append(objs, b.alloc(t, "request.str", b.rng.rangeI64(16, 64)))
+				}
+				b.think(t, 200, 600) // handle the request
+				for i := len(objs) - 1; i >= 0; i-- {
+					b.free(t, objs[i])
+				}
+			}
+			if b.rng.intn(100) == 0 {
+				leaked = append(leaked, conn) // lingering keep-alive
+			} else {
+				b.free(t, conn)
+			}
+			b.think(t, 80, 300)
+		}
+		_ = leaked // never freed: the corpus's long-lived residue
+	}
+	return b.build("websession", threads)
+}
+
+// synthSmallMix is the small-object-dominated shape: four threads,
+// ~90% of requests at or under 64 bytes, a thin large tail, and
+// geometric lifetimes measured in allocation counts — most objects die
+// almost immediately, a residue survives long.
+func synthSmallMix() *Trace {
+	const threads, opsPerThread = 4, 3000
+	b := newBuilder(0x5a111a0b1ec0de02, threads)
+	small := []int64{16, 24, 32, 40, 48, 64}
+	for t := 0; t < threads; t++ {
+		type pending struct {
+			handle int
+			due    int
+		}
+		var live []pending
+		for i := 0; i < opsPerThread; i++ {
+			var site string
+			var req int64
+			switch p := b.rng.intn(100); {
+			case p < 70:
+				site, req = "node.new", small[b.rng.intn(len(small))]
+			case p < 90:
+				site, req = "str.dup", b.rng.rangeI64(80, 256)
+			case p < 99:
+				site, req = "vec.grow", b.rng.rangeI64(272, 1024)
+			default:
+				site, req = "blob.new", b.rng.rangeI64(2048, 8192)
+			}
+			h := b.alloc(t, site, req)
+			// Geometric death delay: p=1/2 per step, long tail capped at
+			// 512 subsequent allocations; ~3% of objects never die.
+			if b.rng.intn(100) < 97 {
+				delay := 1
+				for delay < 512 && b.rng.intn(2) == 0 {
+					delay *= 2
+				}
+				live = append(live, pending{h, i + delay})
+			}
+			b.think(t, 30, 150)
+			kept := live[:0]
+			for _, p := range live {
+				if p.due <= i {
+					b.free(t, p.handle)
+				} else {
+					kept = append(kept, p)
+				}
+			}
+			live = kept
+		}
+		for _, p := range live { // thread teardown frees the stragglers
+			b.free(t, p.handle)
+		}
+	}
+	return b.build("smallmix", threads)
+}
+
+// synthFragStorm is the fragmentation adversary: two threads interleave
+// tiny pin objects with large slabs, free the slabs (leaving pins
+// scattered through the address space), run a FIFO sawtooth of
+// mid-size blocks through the holes, then ask for blocks slightly too
+// large for any hole. Binned free lists and wilderness policies make
+// very different choices here.
+func synthFragStorm() *Trace {
+	const threads = 2
+	b := newBuilder(0xf4a65708a6e55003, threads)
+	for t := 0; t < threads; t++ {
+		var pins, slabs []int
+		for i := 0; i < 600; i++ { // phase 1: pin/slab interleave
+			pins = append(pins, b.alloc(t, "pin.new", 40))
+			slabs = append(slabs, b.alloc(t, "slab.new", 1600))
+			b.think(t, 20, 60)
+		}
+		for _, s := range slabs {
+			b.free(t, s)
+		}
+		for cycle := 0; cycle < 8; cycle++ { // phase 2: FIFO sawtooth
+			var saw []int
+			for i := 0; i < 120; i++ {
+				saw = append(saw, b.alloc(t, "saw.new", 3000))
+				b.think(t, 10, 40)
+			}
+			for _, s := range saw {
+				b.free(t, s)
+			}
+		}
+		for i := 0; i < len(pins); i += 2 { // phase 3: half the pins go
+			b.free(t, pins[i])
+		}
+		var gaps []int
+		for i := 0; i < 300; i++ {
+			gaps = append(gaps, b.alloc(t, "gap.new", 2000))
+			b.think(t, 10, 40)
+		}
+		for _, g := range gaps {
+			b.free(t, g)
+		}
+		for i := 1; i < len(pins); i += 2 { // teardown, a few pins leak
+			if b.rng.intn(50) != 0 {
+				b.free(t, pins[i])
+			}
+		}
+	}
+	return b.build("fragstorm", threads)
+}
+
+// synthHandoff is the producer-consumer shape the tree workloads never
+// exercise: two producers allocate message+payload pairs that four
+// consumers free after a handoff latency — every message death is a
+// cross-thread free, the pattern that forces ptmalloc's cross-arena
+// locking, hoard's owner-heap returns, and lfalloc's shared-stack
+// pushes. Consumers also churn a small thread-local scratch buffer.
+func synthHandoff() *Trace {
+	const producers, consumers, msgs = 2, 4, 900
+	threads := producers + consumers
+	b := newBuilder(0x4a0d0ff5c0a50e04, threads)
+	for p := 0; p < producers; p++ {
+		for m := 0; m < msgs; m++ {
+			msg := b.alloc(p, "msg.new", 96)
+			payload := b.alloc(p, "payload.new", 368)
+			allocClock := b.clock[p]
+			b.think(p, 60, 200)
+			cons := producers + (p*msgs+m)%consumers
+			b.syncPast(cons, allocClock, 150)
+			scratch := b.alloc(cons, "scratch.new", 64)
+			b.think(cons, 100, 400) // process the message
+			b.free(cons, scratch)
+			b.free(cons, payload)
+			b.free(cons, msg)
+		}
+	}
+	return b.build("handoff", threads)
+}
+
+var corpusSynths = map[string]func() *Trace{
+	"fragstorm":  synthFragStorm,
+	"handoff":    synthHandoff,
+	"smallmix":   synthSmallMix,
+	"websession": synthWebSession,
+}
+
+// CorpusNames lists the committed corpora, sorted.
+func CorpusNames() []string {
+	names := make([]string, 0, len(corpusSynths))
+	for n := range corpusSynths {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+var (
+	corpusMu    sync.Mutex
+	corpusCache = map[string]*Trace{}
+)
+
+// Corpus synthesizes (and memoizes) the named committed corpus. The
+// returned trace is shared — callers must not mutate it.
+func Corpus(name string) (*Trace, error) {
+	corpusMu.Lock()
+	defer corpusMu.Unlock()
+	if tr, ok := corpusCache[name]; ok {
+		return tr, nil
+	}
+	synth, ok := corpusSynths[name]
+	if !ok {
+		return nil, fmt.Errorf("alloctrace: unknown corpus %q (have %v)", name, CorpusNames())
+	}
+	tr := synth()
+	corpusCache[name] = tr
+	return tr, nil
+}

@@ -15,6 +15,7 @@ import (
 
 	_ "amplify/internal/hoard"
 	_ "amplify/internal/lfalloc"
+	_ "amplify/internal/lkmalloc"
 	_ "amplify/internal/ptmalloc"
 	_ "amplify/internal/serial"
 	_ "amplify/internal/smartheap"
@@ -473,7 +474,7 @@ func (r *Runner) Claims() (string, error) {
 
 // Names lists the experiment identifiers accepted by Run.
 func Names() []string {
-	names := []string{"table1", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "claims", "memory", "pipeline", "sensitivity", "escape", "scale", "contend"}
+	names := []string{"table1", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "claims", "memory", "pipeline", "sensitivity", "escape", "scale", "contend", "replay"}
 	sort.Strings(names)
 	return names
 }
@@ -521,6 +522,8 @@ func (r *Runner) Run(name string) (string, error) {
 		return r.Scale()
 	case "contend":
 		return r.Contend()
+	case "replay":
+		return r.Replay()
 	case "endtoend":
 		return r.EndToEnd()
 	default:

@@ -27,8 +27,8 @@ func TestTable1(t *testing.T) {
 
 func TestNames(t *testing.T) {
 	names := Names()
-	if len(names) != 16 {
-		t.Fatalf("Names() = %v, want 16 experiments", names)
+	if len(names) != 17 {
+		t.Fatalf("Names() = %v, want 17 experiments", names)
 	}
 }
 

@@ -77,8 +77,8 @@ func TestContendReport(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rep.Schema != "amplify-bench/6" {
-		t.Errorf("schema = %q, want amplify-bench/6", rep.Schema)
+	if rep.Schema != "amplify-bench/7" {
+		t.Errorf("schema = %q, want amplify-bench/7", rep.Schema)
 	}
 	var contendCells int
 	for k := range rep.Makespans {

@@ -166,7 +166,7 @@ func TestReportHeapSection(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rep.Schema != "amplify-bench/6" {
+	if rep.Schema != "amplify-bench/7" {
 		t.Fatalf("schema = %q", rep.Schema)
 	}
 	if len(rep.Heap) == 0 {

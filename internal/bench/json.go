@@ -18,9 +18,10 @@ import (
 // escape experiment; version 5 adds the datacenter-scale grid cells
 // (scale/...) to Makespans; version 6 adds the contention-scaling
 // grid cells (contend/...) and the sim.atomic.* counters to Metrics;
-// the simulated makespans of pre-existing cells are unchanged from
-// version 1.
-const ReportSchema = "amplify-bench/6"
+// version 7 adds the trace-replay grid cells (replay/<corpus>/<alloc>)
+// from the committed alloctrace corpora; the simulated makespans of
+// pre-existing cells are unchanged from version 1.
+const ReportSchema = "amplify-bench/7"
 
 // Report is the machine-readable record of one amplifybench
 // invocation: what ran, how long the host took, and every simulated
@@ -218,6 +219,8 @@ func (r *Runner) HeapCells() map[string]HeapCell {
 			m[key] = heapCellOf(v.Footprint, v.Alloc.PeakBytes, v.Heap)
 		case workload.ChurnResult:
 			m[key] = heapCellOf(v.Footprint, v.Alloc.PeakBytes, v.Heap)
+		case workload.ReplayResult:
+			m[key] = heapCellOf(v.Footprint, v.Alloc.PeakBytes, v.Heap)
 		case bgw.Result:
 			m[key] = heapCellOf(v.Footprint, v.Alloc.PeakBytes, v.Heap)
 		case bgw.PipelineResult:
@@ -259,6 +262,8 @@ func (r *Runner) Makespans() map[string]int64 {
 		case workload.Result:
 			m[key] = v.Makespan
 		case workload.ChurnResult:
+			m[key] = v.Makespan
+		case workload.ReplayResult:
 			m[key] = v.Makespan
 		case bgw.Result:
 			m[key] = v.Makespan

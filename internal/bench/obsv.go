@@ -58,6 +58,11 @@ func (r *Runner) Metrics() map[string]int64 {
 			addSim(v.Sim)
 			reg.Add("alloc.allocs", v.Alloc.Allocs)
 			reg.Add("alloc.frees", v.Alloc.Frees)
+		case workload.ReplayResult:
+			reg.Add("cells.replay", 1)
+			addSim(v.Sim)
+			reg.Add("alloc.allocs", v.Alloc.Allocs)
+			reg.Add("alloc.frees", v.Alloc.Frees)
 		case bgw.Result:
 			reg.Add("cells.bgw", 1)
 			addSim(v.Sim)

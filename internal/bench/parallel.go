@@ -4,6 +4,9 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+
+	"amplify/internal/alloctrace"
+	"amplify/internal/workload"
 )
 
 // cellStore is the Runner's memo: a concurrency-safe, lazily
@@ -263,6 +266,16 @@ func (r *Runner) cellSpecs(name string) []cellSpec {
 				pt, s := pt, s
 				tasks = append(tasks, cellSpec{contendKey(s, pt.Procs, pt.Threads), func() error {
 					_, err := r.runContend(s, pt.Procs, pt.Threads)
+					return err
+				}})
+			}
+		}
+	case "replay":
+		for _, corpus := range alloctrace.CorpusNames() {
+			for _, s := range workload.ReplayStrategies() {
+				corpus, s := corpus, s
+				tasks = append(tasks, cellSpec{replayKey(corpus, s), func() error {
+					_, err := r.runReplay(corpus, s)
 					return err
 				}})
 			}

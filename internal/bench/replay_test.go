@@ -1,0 +1,126 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"amplify/internal/alloctrace"
+	"amplify/internal/workload"
+)
+
+func TestReplayExperiment(t *testing.T) {
+	r := NewRunner(true)
+	out, err := r.Replay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, corpus := range alloctrace.CorpusNames() {
+		if !strings.Contains(out, corpus) {
+			t.Errorf("replay table missing corpus %q:\n%s", corpus, out)
+		}
+	}
+	for _, s := range workload.ReplayStrategies() {
+		if !strings.Contains(out, s) {
+			t.Errorf("replay table missing allocator %q:\n%s", s, out)
+		}
+	}
+	wantCells := len(alloctrace.CorpusNames()) * len(workload.ReplayStrategies())
+	ms := r.Makespans()
+	got := 0
+	for key := range ms {
+		if strings.HasPrefix(key, "replay/") {
+			got++
+		}
+	}
+	if got != wantCells {
+		t.Errorf("%d replay cells in Makespans, want %d", got, wantCells)
+	}
+}
+
+// TestReplayParallelMatchesSequential extends the harness equivalence
+// regression to the replay family: -j 8 precompute must render the
+// byte-identical table a sequential runner produces.
+func TestReplayParallelMatchesSequential(t *testing.T) {
+	seq := NewRunner(true)
+	seq.Jobs = 1
+	par := NewRunner(true)
+	par.Jobs = 8
+	if err := par.Precompute([]string{"replay"}); err != nil {
+		t.Fatal(err)
+	}
+	want, err := seq.Run("replay")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := par.Run("replay")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want != got {
+		t.Errorf("replay differs between -j 1 and -j 8:\n--- j1 ---\n%s\n--- j8 ---\n%s", want, got)
+	}
+}
+
+func TestReplayInReport(t *testing.T) {
+	r := NewRunner(true)
+	rep, err := r.Report([]string{"replay"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != "amplify-bench/7" {
+		t.Errorf("schema %q, want amplify-bench/7", rep.Schema)
+	}
+	key := "replay/handoff/lfalloc"
+	if _, ok := rep.Makespans[key]; !ok {
+		t.Errorf("report Makespans missing %s", key)
+	}
+	if _, ok := rep.Heap[key]; !ok {
+		t.Errorf("report Heap missing %s", key)
+	}
+	wantCells := int64(len(alloctrace.CorpusNames()) * len(workload.ReplayStrategies()))
+	if rep.Metrics["cells.replay"] != wantCells {
+		t.Errorf("cells.replay = %d, want %d", rep.Metrics["cells.replay"], wantCells)
+	}
+}
+
+// TestCompareToleratesBaselineWithoutReplayCells is the baseline-skew
+// guard: diffing a report that has the new replay cells against an
+// older baseline that predates them must count them as new coverage,
+// not fail — and must still compare the overlap exactly.
+func TestCompareToleratesBaselineWithoutReplayCells(t *testing.T) {
+	baseline := &Report{
+		Schema:    "amplify-bench/6",
+		Makespans: map[string]int64{"tree/serial/depth1/threads1/procs8": 1000},
+		Heap:      map[string]HeapCell{},
+	}
+	current := &Report{
+		Schema: "amplify-bench/7",
+		Makespans: map[string]int64{
+			"tree/serial/depth1/threads1/procs8": 1000,
+			"replay/handoff/serial":              5000,
+			"replay/smallmix/hoard":              4000,
+		},
+		Heap: map[string]HeapCell{
+			"replay/handoff/serial": {Footprint: 64, PeakBytes: 32},
+		},
+	}
+	c, err := Compare(baseline, current, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Regressed() {
+		t.Fatalf("unexpected regressions: %v", c.Regressions)
+	}
+	if c.Common != 1 || c.OnlyNew != 2 {
+		t.Errorf("Common=%d OnlyNew=%d, want 1 and 2", c.Common, c.OnlyNew)
+	}
+	// The reverse direction (full baseline, quick current) must tolerate
+	// the subset too.
+	rc, err := Compare(current, baseline, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rc.Regressed() || rc.OnlyOld != 2 {
+		t.Errorf("reverse compare: regressed=%v OnlyOld=%d", rc.Regressed(), rc.OnlyOld)
+	}
+}

@@ -1,0 +1,108 @@
+package heapobsv
+
+import (
+	"amplify/internal/alloc"
+	"amplify/internal/mem"
+	"amplify/internal/pool"
+)
+
+// Multi fans one observer attachment out to several: it lets a run
+// record a trace (alloctrace.Recorder) and sample a heap timeline
+// (Timeline) at the same time through the single HeapObserver slot the
+// workloads and VM expose. Dispatch mirrors the allocator emission
+// rules: rich TraceObserver events reach the children that implement
+// the upgrade interface and are downgraded to plain ObsAlloc/ObsFree
+// summaries for the ones that don't; Watch/WatchPools attachments reach
+// the children that want them.
+type Multi []alloc.Observer
+
+// Observe implements alloc.Observer.
+func (m Multi) Observe(now int64, op alloc.ObsOp, bytes int64) {
+	for _, o := range m {
+		o.Observe(now, op, bytes)
+	}
+}
+
+// ObserveAlloc implements alloc.TraceObserver.
+func (m Multi) ObserveAlloc(now int64, thread int, req, granted int64, ref mem.Ref) {
+	for _, o := range m {
+		if t, ok := o.(alloc.TraceObserver); ok {
+			t.ObserveAlloc(now, thread, req, granted, ref)
+		} else {
+			o.Observe(now, alloc.ObsAlloc, granted)
+		}
+	}
+}
+
+// ObserveFree implements alloc.TraceObserver.
+func (m Multi) ObserveFree(now int64, thread int, granted int64, ref mem.Ref) {
+	for _, o := range m {
+		if t, ok := o.(alloc.TraceObserver); ok {
+			t.ObserveFree(now, thread, granted, ref)
+		} else {
+			o.Observe(now, alloc.ObsFree, granted)
+		}
+	}
+}
+
+// Watch implements alloc.Watcher, forwarding to watcher children.
+func (m Multi) Watch(sp *mem.Space, a alloc.Allocator) {
+	for _, o := range m {
+		if w, ok := o.(alloc.Watcher); ok {
+			w.Watch(sp, a)
+		}
+	}
+}
+
+// WatchPools forwards the pool runtime to children that sample it.
+func (m Multi) WatchPools(rt *pool.Runtime) {
+	for _, o := range m {
+		if w, ok := o.(interface{ WatchPools(*pool.Runtime) }); ok {
+			w.WatchPools(rt)
+		}
+	}
+}
+
+// HeapProfiler mirrors vm.HeapProfiler structurally (the interface
+// lives in the VM so it does not depend on this package; redeclaring
+// it here lets ProfTee compose profiler consumers without an import
+// cycle). SiteProfile and alloctrace.Recorder both implement it.
+type HeapProfiler interface {
+	Enter(thread int, fn string, now int64)
+	Exit(thread int, now int64)
+	Alloc(thread int, site, class string, bytes int64, ref mem.Ref)
+	Free(thread int, ref mem.Ref)
+}
+
+// ProfTee fans the VM's allocation-site hooks out to several
+// consumers — e.g. a SiteProfile and a trace Recorder attached to the
+// same run through the single HeapProf slot.
+type ProfTee []HeapProfiler
+
+// Enter forwards a shadow-stack push to every consumer.
+func (t ProfTee) Enter(thread int, fn string, now int64) {
+	for _, p := range t {
+		p.Enter(thread, fn, now)
+	}
+}
+
+// Exit forwards a shadow-stack pop to every consumer.
+func (t ProfTee) Exit(thread int, now int64) {
+	for _, p := range t {
+		p.Exit(thread, now)
+	}
+}
+
+// Alloc forwards a program-level birth to every consumer.
+func (t ProfTee) Alloc(thread int, site, class string, bytes int64, ref mem.Ref) {
+	for _, p := range t {
+		p.Alloc(thread, site, class, bytes, ref)
+	}
+}
+
+// Free forwards a program-level death to every consumer.
+func (t ProfTee) Free(thread int, ref mem.Ref) {
+	for _, p := range t {
+		p.Free(thread, ref)
+	}
+}

@@ -1,0 +1,168 @@
+package heapobsv_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"amplify/internal/alloctrace"
+	"amplify/internal/heapobsv"
+	"amplify/internal/obsv"
+	"amplify/internal/vm"
+	"amplify/internal/workload"
+)
+
+// parityProg allocates from several sites across several threads so
+// site attribution, the shadow stack and the trace recorder all have
+// work to do under both VM engines.
+const parityProg = `
+class Node {
+public:
+    Node(int d) {
+        if (d > 0) { left = new Node(d - 1); right = new Node(d - 1); }
+    }
+    ~Node() { delete left; delete right; }
+private:
+    Node* left;
+    Node* right;
+};
+
+void worker(int id) {
+    for (int i = 0; i < 8; i = i + 1) {
+        Node* n = new Node(3);
+        delete n;
+    }
+}
+
+int main() {
+    spawn worker(1);
+    spawn worker(2);
+    join;
+    Node* keep = new Node(2);
+    return 0;
+}
+`
+
+// TestEngineSiteAttributionParity pins the switch and closure engines
+// against each other on the whole heap-observability surface: the
+// cycle profiler's folded stacks, the allocation-site profile, and the
+// recorded allocation trace must all be byte-identical — the closure
+// backend executes the same bytecode with a different dispatch
+// mechanism, so every observer artifact must agree exactly.
+func TestEngineSiteAttributionParity(t *testing.T) {
+	type artifacts struct {
+		cycles   string
+		sites    string
+		table    string
+		trace    []byte
+		makespan int64
+	}
+	capture := func(engine string) artifacts {
+		prof := obsv.NewProfiler()
+		sites := heapobsv.NewSiteProfile()
+		rec := alloctrace.NewRecorder("parity")
+		res, err := vm.RunSource(parityProg, vm.Config{
+			Engine:       engine,
+			Profiler:     prof,
+			HeapObserver: rec,
+			HeapProf:     heapobsv.ProfTee{sites, rec},
+		})
+		if err != nil {
+			t.Fatalf("%s engine: %v", engine, err)
+		}
+		prof.Finish(res.Makespan)
+		if err := rec.Trace().Validate(); err != nil {
+			t.Fatalf("%s engine: recorded trace invalid: %v", engine, err)
+		}
+		return artifacts{
+			cycles:   prof.Folded(),
+			sites:    sites.Folded(heapobsv.MetricAllocBytes),
+			table:    sites.Table(),
+			trace:    rec.Trace().Encode(),
+			makespan: res.Makespan,
+		}
+	}
+	sw := capture("")
+	cl := capture("closure")
+
+	if sw.makespan != cl.makespan {
+		t.Errorf("makespans differ: switch %d, closure %d", sw.makespan, cl.makespan)
+	}
+	if sw.cycles != cl.cycles {
+		t.Errorf("cycle profiles differ:\n--- switch ---\n%s\n--- closure ---\n%s", sw.cycles, cl.cycles)
+	}
+	if sw.sites != cl.sites {
+		t.Errorf("site profiles differ:\n--- switch ---\n%s\n--- closure ---\n%s", sw.sites, cl.sites)
+	}
+	if sw.table != cl.table {
+		t.Errorf("site tables differ:\n--- switch ---\n%s\n--- closure ---\n%s", sw.table, cl.table)
+	}
+	if !bytes.Equal(sw.trace, cl.trace) {
+		t.Error("recorded traces differ between switch and closure engines")
+	}
+
+	// The artifacts must actually attribute: worker-thread allocations
+	// land at the Node constructor's site with the class annotation.
+	if !strings.Contains(sw.sites, "(Node)") {
+		t.Errorf("site profile has no Node attribution:\n%s", sw.sites)
+	}
+	if !strings.Contains(sw.cycles, "worker") {
+		t.Errorf("cycle profile never entered worker:\n%s", sw.cycles)
+	}
+	tr, err := alloctrace.Decode(sw.trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	attributed := false
+	for _, s := range tr.Sites {
+		if strings.Contains(s, "(Node)") {
+			attributed = true
+		}
+	}
+	if !attributed {
+		t.Errorf("trace sites carry no MiniCC attribution: %v", tr.Sites)
+	}
+	if st := tr.Stats(); st.Leaked == 0 {
+		t.Error("trace missed the leaked Node tree")
+	}
+}
+
+// TestMultiFansOutAndChangesNothing checks the Multi observer: a
+// timeline and a trace recorder attached together each see exactly
+// what they would alone, and observation still charges nothing.
+func TestMultiFansOutAndChangesNothing(t *testing.T) {
+	cfg := workload.ChurnConfig{Threads: 4, OpsPerThread: 50, Size: 48}
+
+	bare, err := workload.RunChurn("ptmalloc", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	soloRec := alloctrace.NewRecorder("churn")
+	soloCfg := cfg
+	soloCfg.HeapObserver = soloRec
+	if _, err := workload.RunChurn("ptmalloc", soloCfg); err != nil {
+		t.Fatal(err)
+	}
+
+	rec := alloctrace.NewRecorder("churn")
+	tl := &heapobsv.Timeline{Interval: 1000}
+	multiCfg := cfg
+	multiCfg.HeapObserver = heapobsv.Multi{tl, rec}
+	multi, err := workload.RunChurn("ptmalloc", multiCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if multi.Makespan != bare.Makespan || multi.Sim != bare.Sim || multi.Alloc != bare.Alloc {
+		t.Error("Multi observation changed simulated results")
+	}
+	if !bytes.Equal(rec.Trace().Encode(), soloRec.Trace().Encode()) {
+		t.Error("recorder through Multi captured a different trace than solo")
+	}
+	tl.Finish(multi.Makespan)
+	last := tl.Samples()[len(tl.Samples())-1]
+	if want := bare.Alloc.Allocs; last.Allocs != want {
+		t.Errorf("timeline through Multi counted %d allocs, want %d", last.Allocs, want)
+	}
+}

@@ -141,7 +141,7 @@ func (a *Allocator) Alloc(c *sim.Ctx, size int64) mem.Ref {
 		a.huge[ref] = usable
 		a.stats.Count(size, usable)
 		if a.obs != nil {
-			a.obs.Observe(c.Now(), alloc.ObsAlloc, usable)
+			alloc.EmitAlloc(a.obs, c, size, usable, ref)
 		}
 		return ref
 	}
@@ -153,7 +153,7 @@ func (a *Allocator) Alloc(c *sim.Ctx, size int64) mem.Ref {
 	a.stats.Count(size, sb.blockSize)
 	h.lock.Unlock(c)
 	if a.obs != nil {
-		a.obs.Observe(c.Now(), alloc.ObsAlloc, sb.blockSize)
+		alloc.EmitAlloc(a.obs, c, size, sb.blockSize, ref)
 	}
 	return ref
 }
@@ -210,7 +210,7 @@ func (a *Allocator) Free(c *sim.Ctx, ref mem.Ref) {
 		delete(a.huge, ref)
 		a.stats.Uncount(usable)
 		if a.obs != nil {
-			a.obs.Observe(c.Now(), alloc.ObsFree, usable)
+			alloc.EmitFree(a.obs, c, usable, ref)
 		}
 		return
 	}
@@ -231,7 +231,7 @@ func (a *Allocator) Free(c *sim.Ctx, ref mem.Ref) {
 	}
 	h.lock.Unlock(c)
 	if a.obs != nil {
-		a.obs.Observe(c.Now(), alloc.ObsFree, sb.blockSize)
+		alloc.EmitFree(a.obs, c, sb.blockSize, ref)
 	}
 }
 

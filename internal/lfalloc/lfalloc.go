@@ -206,7 +206,7 @@ func (a *Allocator) Alloc(c *sim.Ctx, size int64) mem.Ref {
 		a.huge[ref] = usable
 		a.stats.Count(size, usable)
 		if a.obs != nil {
-			a.obs.Observe(c.Now(), alloc.ObsAlloc, usable)
+			alloc.EmitAlloc(a.obs, c, size, usable, ref)
 		}
 		return ref
 	}
@@ -243,7 +243,7 @@ func (a *Allocator) Alloc(c *sim.Ctx, size int64) mem.Ref {
 	cl.live++
 	a.stats.Count(size, cl.blockSize)
 	if a.obs != nil {
-		a.obs.Observe(c.Now(), alloc.ObsAlloc, cl.blockSize)
+		alloc.EmitAlloc(a.obs, c, size, cl.blockSize, ref)
 	}
 	return ref
 }
@@ -259,7 +259,7 @@ func (a *Allocator) Free(c *sim.Ctx, ref mem.Ref) {
 		delete(a.huge, ref)
 		a.stats.Uncount(usable)
 		if a.obs != nil {
-			a.obs.Observe(c.Now(), alloc.ObsFree, usable)
+			alloc.EmitFree(a.obs, c, usable, ref)
 		}
 		return
 	}
@@ -278,7 +278,7 @@ func (a *Allocator) Free(c *sim.Ctx, ref mem.Ref) {
 		c.Write(uint64(ref), 8) // private list link
 	}
 	if a.obs != nil {
-		a.obs.Observe(c.Now(), alloc.ObsFree, cl.blockSize)
+		alloc.EmitFree(a.obs, c, cl.blockSize, ref)
 	}
 }
 

@@ -121,7 +121,7 @@ func (a *Allocator) Alloc(c *sim.Ctx, size int64) mem.Ref {
 	a.stats.Count(size, n)
 	ar.lock.Unlock(c)
 	if a.obs != nil {
-		a.obs.Observe(c.Now(), alloc.ObsAlloc, n)
+		alloc.EmitAlloc(a.obs, c, size, n, ref)
 	}
 	return ref
 }
@@ -141,7 +141,7 @@ func (a *Allocator) Free(c *sim.Ctx, ref mem.Ref) {
 	ar.heap.Free(c, ref)
 	ar.lock.Unlock(c)
 	if a.obs != nil {
-		a.obs.Observe(c.Now(), alloc.ObsFree, n)
+		alloc.EmitFree(a.obs, c, n, ref)
 	}
 }
 

@@ -112,7 +112,7 @@ func (a *Allocator) Alloc(c *sim.Ctx, size int64) mem.Ref {
 		a.stats.Count(size, usable)
 		a.lock.Unlock(c)
 		if a.obs != nil {
-			a.obs.Observe(c.Now(), alloc.ObsAlloc, usable)
+			alloc.EmitAlloc(a.obs, c, size, usable, ref)
 		}
 		return ref
 	}
@@ -130,7 +130,7 @@ func (a *Allocator) Alloc(c *sim.Ctx, size int64) mem.Ref {
 	c.Write(listAddr, 8)
 	a.stats.Count(size, a.classes[ci].size)
 	if a.obs != nil {
-		a.obs.Observe(c.Now(), alloc.ObsAlloc, a.classes[ci].size)
+		alloc.EmitAlloc(a.obs, c, size, a.classes[ci].size, ref)
 	}
 	return ref
 }
@@ -158,7 +158,7 @@ func (a *Allocator) Free(c *sim.Ctx, ref mem.Ref) {
 	ci := a.classFor(usable)
 	a.stats.Uncount(usable)
 	if a.obs != nil {
-		a.obs.Observe(c.Now(), alloc.ObsFree, usable)
+		alloc.EmitFree(a.obs, c, usable, ref)
 	}
 	if ci < 0 {
 		a.lock.Lock(c)

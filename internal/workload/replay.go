@@ -1,0 +1,156 @@
+package workload
+
+import (
+	"fmt"
+
+	"amplify/internal/alloc"
+	"amplify/internal/alloctrace"
+	"amplify/internal/mem"
+	"amplify/internal/sim"
+)
+
+// The replay workload drives a recorded allocation trace back through
+// any allocator in the grid: the real-world-shaped counterpart to the
+// synthetic tree and churn generators. Replay preserves what the trace
+// pinned down — each thread issues its captured operations in capture
+// order, every block lives from its alloc to its free, cross-thread
+// handoffs stay cross-thread — while the allocator under test makes its
+// own placement, size-class and locking decisions. The makespan is the
+// allocator's cost on that workload shape, which is exactly the
+// comparison the source paper's method needs before swapping policies.
+
+// ReplayConfig parameterizes a trace replay run.
+type ReplayConfig struct {
+	// Trace is the recorded stream to drive. Replay spawns one simulated
+	// thread per trace thread.
+	Trace *alloctrace.Trace
+	// Processors simulated; zero means 8.
+	Processors int
+	// Tracer/TraceMask feed the simulator's event stream.
+	Tracer    sim.Tracer
+	TraceMask sim.Mask
+	// HeapObserver receives allocator events; when it implements
+	// alloc.Watcher it is attached before the run. Attaching an
+	// alloctrace.Recorder here re-captures the replay. Host-side only.
+	HeapObserver alloc.Observer
+}
+
+// ReplayResult summarizes a replay run.
+type ReplayResult struct {
+	Strategy string
+	// TraceName and per-trace counters identify the corpus driven.
+	TraceName string
+	Stats     alloctrace.Stats
+
+	// Makespan is the completion time of the slowest thread.
+	Makespan int64
+	// Sim aggregates lock, cache and atomic-operation statistics.
+	Sim sim.Stats
+	// Alloc are the allocator's counters.
+	Alloc alloc.Stats
+	// Footprint is the simulated memory consumption in bytes.
+	Footprint int64
+	// Heap is the allocator's post-run introspection snapshot.
+	Heap alloc.HeapInfo
+}
+
+// ReplayStrategies lists the allocators the replay experiment compares:
+// the full grid, since a trace's shape can reorder any of them.
+func ReplayStrategies() []string {
+	return []string{"serial", "ptmalloc", "hoard", "smartheap", "lkmalloc", "lfalloc"}
+}
+
+// RunReplay drives cfg.Trace through the named allocator.
+//
+// Ordering semantics: per-thread capture order is program order, so
+// same-thread lifetimes need no synchronization. Every allocation whose
+// free happens on a different thread gets a zero-cost sim.WaitGroup
+// gate — Done after the alloc, Wait before the free — which both
+// publishes the replayed block reference and forces the alloc-before-
+// free edge. The gates cannot deadlock: every edge points backward in
+// capture order, and capture order is a valid global schedule, so the
+// dependency graph is acyclic. Replay is a deterministic simulation —
+// the same trace and allocator always produce the same makespan, and a
+// re-captured replay re-captures byte-identically.
+func RunReplay(strategy string, cfg ReplayConfig) (ReplayResult, error) {
+	res := ReplayResult{Strategy: strategy}
+	if cfg.Trace == nil {
+		return res, fmt.Errorf("workload: replay needs a trace")
+	}
+	if err := cfg.Trace.Validate(); err != nil {
+		return res, err
+	}
+	tr := cfg.Trace
+	res.TraceName = tr.Name
+	res.Stats = tr.Stats()
+	if cfg.Processors <= 0 {
+		cfg.Processors = 8
+	}
+
+	// Partition the stream per thread and gate cross-thread lifetimes.
+	perThread := make([][]int32, len(tr.Threads))
+	crossFreed := make(map[int64]bool)
+	for i := range tr.Events {
+		ev := &tr.Events[i]
+		perThread[ev.Thread] = append(perThread[ev.Thread], int32(i))
+		if ev.Op == alloctrace.OpFree && tr.Events[ev.AllocSeq].Thread != ev.Thread {
+			crossFreed[ev.AllocSeq] = true
+		}
+	}
+
+	e := sim.New(sim.Config{Processors: cfg.Processors, Tracer: cfg.Tracer, TraceMask: cfg.TraceMask})
+	sp := mem.NewSpace()
+	a, err := alloc.New(strategy, e, sp, alloc.Options{Threads: len(tr.Threads), Observer: cfg.HeapObserver})
+	if err != nil {
+		return res, err
+	}
+	watchHeap(cfg.HeapObserver, sp, a, nil)
+
+	gates := make(map[int64]*sim.WaitGroup, len(crossFreed))
+	for idx := range crossFreed {
+		g := e.NewWaitGroup()
+		g.Add(1)
+		gates[idx] = g
+	}
+	refs := make([]mem.Ref, len(tr.Events)) // alloc event index -> replayed block
+
+	// The same two-sided start gate as churn: without it the staggered
+	// spawns would serialize short per-thread streams end to end.
+	ready := e.NewWaitGroup()
+	gate := e.NewWaitGroup()
+	ready.Add(len(tr.Threads))
+	gate.Add(1)
+	e.Go("main", func(c *sim.Ctx) {
+		for ti := range perThread {
+			ops := perThread[ti]
+			c.Go(fmt.Sprintf("replay-%s", tr.Threads[ti]), func(cc *sim.Ctx) {
+				ready.Done(cc)
+				gate.Wait(cc)
+				for _, idx := range ops {
+					ev := &tr.Events[idx]
+					if ev.Op == alloctrace.OpAlloc {
+						r := a.Alloc(cc, ev.Req)
+						refs[idx] = r
+						cc.Write(uint64(r), 8)
+						if g := gates[int64(idx)]; g != nil {
+							g.Done(cc)
+						}
+					} else {
+						if g := gates[ev.AllocSeq]; g != nil {
+							g.Wait(cc)
+						}
+						a.Free(cc, refs[ev.AllocSeq])
+					}
+				}
+			})
+		}
+		ready.Wait(c)
+		gate.Done(c)
+	})
+	res.Makespan = e.Run()
+	res.Sim = e.Stats()
+	res.Alloc = a.Stats()
+	res.Footprint = sp.Footprint()
+	res.Heap = inspectHeap(a)
+	return res, nil
+}
