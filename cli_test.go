@@ -690,3 +690,243 @@ func TestCLITraceGenMatchesCommitted(t *testing.T) {
 		t.Errorf("regenerated corpora manifest differs from committed:\n--- got ---\n%s--- want ---\n%s", got, want)
 	}
 }
+
+// TestCLIExplain drives amplifybench -explain over a seeded regression:
+// the report must name the serial allocator's global lock in its top-3
+// attributions and be byte-identical at -j1 and -j8.
+func TestCLIExplain(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bin := buildTools(t)
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		t.Helper()
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	// The cell is the quick-mode contention cell; the makespans are
+	// fabricated (old deflated 20%), so the explain probe re-measures
+	// the real cell and attributes the regression to its dominant
+	// locks regardless of the exact numbers in the reports.
+	old := write("old.json", `{"schema":"amplify-bench/7","quick":true,
+		"makespans":{"contend/serial/p8/threads64":800000},
+		"metrics":{"sim.lock.wait_cycles":1000,"sim.lock.contended":10}}`)
+	new := write("new.json", `{"schema":"amplify-bench/7","quick":true,
+		"makespans":{"contend/serial/p8/threads64":1000000},
+		"metrics":{"sim.lock.wait_cycles":9000,"sim.lock.contended":80}}`)
+
+	var outs [2][]byte
+	for i, jobs := range []string{"1", "8"} {
+		out, err := exec.Command(filepath.Join(bin, "amplifybench"),
+			"-explain", "-j", jobs, old, new).Output()
+		if err != nil {
+			t.Fatalf("amplifybench -explain -j %s: %v\n%s", jobs, err, out)
+		}
+		outs[i] = out
+	}
+	if string(outs[0]) != string(outs[1]) {
+		t.Errorf("explain report differs between -j1 and -j8:\n--- j1 ---\n%s--- j8 ---\n%s", outs[0], outs[1])
+	}
+	text := string(outs[0])
+	if !strings.Contains(text, "makespan contend/serial/p8/threads64") {
+		t.Errorf("regressed cell not named:\n%s", text)
+	}
+	// serial.global must rank in the top-3 attribution lines.
+	top := ""
+	for _, line := range strings.Split(text, "\n") {
+		trimmed := strings.TrimSpace(line)
+		if strings.HasPrefix(trimmed, "1.") || strings.HasPrefix(trimmed, "2.") || strings.HasPrefix(trimmed, "3.") {
+			top += trimmed + "\n"
+		}
+	}
+	if !strings.Contains(top, "serial.global") {
+		t.Errorf("serial.global not in top-3 attributions:\n%s", text)
+	}
+
+	// JSON form parses and carries the same culprit.
+	out, err := exec.Command(filepath.Join(bin, "amplifybench"),
+		"-explain", "-json", old, new).Output()
+	if err != nil {
+		t.Fatalf("amplifybench -explain -json: %v\n%s", err, out)
+	}
+	var ex struct {
+		Schema string `json:"schema"`
+		Cells  []struct {
+			Attributions []struct {
+				Kind string `json:"kind"`
+				Name string `json:"name"`
+			} `json:"attributions"`
+		} `json:"cells"`
+	}
+	if err := json.Unmarshal(out, &ex); err != nil {
+		t.Fatalf("-explain -json not JSON: %v\n%s", err, out)
+	}
+	if ex.Schema != "amplify-explain/1" || len(ex.Cells) != 1 {
+		t.Errorf("explain JSON = %+v", ex)
+	}
+
+	// A host-benchmark report is rejected with a clear error.
+	host := write("host.json", `{"schema":"amplify-hostbench/1","benchmarks":[]}`)
+	if out, err := exec.Command(filepath.Join(bin, "amplifybench"), "-explain", old, host).CombinedOutput(); err == nil {
+		t.Errorf("-explain accepted a host-bench report:\n%s", out)
+	}
+}
+
+// TestCLISpansAndStderrDiagnostics covers the pipeline span stream and
+// the stdout-purity satellite: -spans writes the span JSONL (with the
+// vm phases nested under the root), -metrics - and -spans - go to
+// stderr, and none of it perturbs the program's stdout or makespan.
+func TestCLISpansAndStderrDiagnostics(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bin := buildTools(t)
+	dir := t.TempDir()
+	srcPath := filepath.Join(dir, "prog.mcc")
+	if err := os.WriteFile(srcPath, []byte(cliProgram), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Baseline metrics without any span/metrics flags.
+	plainMetrics := filepath.Join(dir, "plain.json")
+	if out, err := exec.Command(filepath.Join(bin, "mccrun"), "-amplify", "-metrics", plainMetrics, srcPath).CombinedOutput(); err != nil {
+		t.Fatalf("mccrun -metrics: %v\n%s", err, out)
+	}
+
+	// Full observability run: spans to file, metrics to stderr, trace
+	// with the host track. Stdout must stay exactly the program output.
+	spansPath := filepath.Join(dir, "spans.jsonl")
+	tracePath := filepath.Join(dir, "trace.json")
+	cmd := exec.Command(filepath.Join(bin, "mccrun"), "-amplify",
+		"-spans", spansPath, "-metrics", "-", "-trace-out", tracePath, srcPath)
+	var stderr strings.Builder
+	cmd.Stderr = &stderr
+	stdout, err := cmd.Output()
+	if err != nil {
+		t.Fatalf("mccrun spans run: %v\n%s", err, stderr.String())
+	}
+	if string(stdout) != "done\n" {
+		t.Errorf("diagnostics leaked into stdout: %q", stdout)
+	}
+	if !strings.Contains(stderr.String(), `"span.simulate.count":1`) {
+		t.Errorf("-metrics - snapshot missing span counters on stderr:\n%s", stderr.String())
+	}
+
+	spans, err := os.ReadFile(spansPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"id":"mccrun"`, `"id":"mccrun/read"`,
+		`"id":"mccrun/amplify"`, `"id":"mccrun/parse"`, `"id":"mccrun/compile"`, `"id":"mccrun/simulate"`} {
+		if !strings.Contains(string(spans), want) {
+			t.Errorf("span stream missing %s:\n%s", want, spans)
+		}
+	}
+	for _, line := range strings.Split(strings.TrimSpace(string(spans)), "\n") {
+		if !json.Valid([]byte(line)) {
+			t.Fatalf("span line not JSON: %s", line)
+		}
+	}
+
+	// The Chrome trace carries the host track next to the virtual CPUs.
+	trace, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(trace), `"cat":"host"`) || !strings.Contains(string(trace), `"mccrun/simulate"`) {
+		t.Errorf("Chrome trace missing the host span track: %.200s", trace)
+	}
+
+	// Observation left the simulated numbers untouched: the makespan in
+	// the stderr metrics snapshot equals the plain run's.
+	var plain, observed map[string]int64
+	raw, err := os.ReadFile(plainMetrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(raw, &plain); err != nil {
+		t.Fatal(err)
+	}
+	// The vet analysis prints to stderr before the metrics snapshot, so
+	// the JSON object is the last chunk of the stream.
+	stderrJSON := stderr.String()
+	if i := strings.LastIndex(stderrJSON, `{"`); i >= 0 {
+		stderrJSON = stderrJSON[i:]
+	}
+	if err := json.Unmarshal([]byte(stderrJSON), &observed); err != nil {
+		t.Fatalf("stderr metrics not JSON: %v\n%s", err, stderr.String())
+	}
+	if plain["makespan"] == 0 || plain["makespan"] != observed["makespan"] {
+		t.Errorf("spans/metrics observation changed the makespan: plain %d, observed %d",
+			plain["makespan"], observed["makespan"])
+	}
+
+	// amplify -spans traces the pre-processor phases.
+	ampSpans := filepath.Join(dir, "amp-spans.jsonl")
+	if out, err := exec.Command(filepath.Join(bin, "amplify"), "-spans", ampSpans,
+		"-o", filepath.Join(dir, "out.mcc"), srcPath).CombinedOutput(); err != nil {
+		t.Fatalf("amplify -spans: %v\n%s", err, out)
+	}
+	ampOut, err := os.ReadFile(ampSpans)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"id":"amplify"`, `"id":"amplify/read"`, `"id":"amplify/rewrite"`, `"id":"amplify/write"`} {
+		if !strings.Contains(string(ampOut), want) {
+			t.Errorf("amplify span stream missing %s:\n%s", want, ampOut)
+		}
+	}
+}
+
+// TestCLITraceStdin: mcctrace analyze/replay accept - to read the
+// binary trace from stdin, so recorded runs pipe straight through.
+func TestCLITraceStdin(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bin := buildTools(t)
+	dir := t.TempDir()
+	srcPath := filepath.Join(dir, "prog.mcc")
+	if err := os.WriteFile(srcPath, []byte(cliProgram), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tracePath := filepath.Join(dir, "prog.trace")
+	if out, err := exec.Command(filepath.Join(bin, "mccrun"), "-record-trace", tracePath, srcPath).CombinedOutput(); err != nil {
+		t.Fatalf("mccrun -record-trace: %v\n%s", err, out)
+	}
+	raw, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cmd := exec.Command(filepath.Join(bin, "mcctrace"), "analyze", "-")
+	cmd.Stdin = strings.NewReader(string(raw))
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("mcctrace analyze -: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "size histogram") || !strings.Contains(string(out), "top sites") {
+		t.Errorf("analyze - output wrong:\n%s", out)
+	}
+
+	cmd = exec.Command(filepath.Join(bin, "mcctrace"), "replay", "-alloc", "hoard", "-")
+	cmd.Stdin = strings.NewReader(string(raw))
+	out, err = cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("mcctrace replay -: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "hoard") || !strings.Contains(string(out), "makespan") {
+		t.Errorf("replay - output wrong:\n%s", out)
+	}
+
+	// Garbage on stdin is a decode error, not a corpus fallback.
+	cmd = exec.Command(filepath.Join(bin, "mcctrace"), "analyze", "-")
+	cmd.Stdin = strings.NewReader("not a trace")
+	if out, err := cmd.CombinedOutput(); err == nil {
+		t.Errorf("mcctrace analyze - accepted garbage:\n%s", out)
+	}
+}

@@ -25,6 +25,10 @@
 //	-escape-json    analyze only: print the escape analysis verdicts
 //	                (per-site classification, class partition, pre-size
 //	                hints, V008/V009 findings) as deterministic JSON
+//	-spans file     write a JSONL span stream of the pre-processor
+//	                pipeline (read -> vet -> rewrite -> write) with
+//	                host-time durations and deterministic attributes;
+//	                use - for stderr
 package main
 
 import (
@@ -35,6 +39,7 @@ import (
 	"strings"
 
 	"amplify/internal/core"
+	"amplify/internal/telemetry"
 	"amplify/internal/vet"
 )
 
@@ -49,6 +54,7 @@ func main() {
 	autoExclude := flag.Bool("auto-exclude", false, "exclude classes the analyzer rules ineligible")
 	escape := flag.Bool("escape", false, "apply the escape-analysis-driven rewrites (frame promotion, thread-private pools, pool pre-sizing)")
 	escapeJSON := flag.Bool("escape-json", false, "analyze only: print the escape analysis verdicts as JSON")
+	spansOut := flag.String("spans", "", "write a JSONL span stream of the pipeline phases (use - for stderr)")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -56,13 +62,24 @@ func main() {
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
+	var spans *telemetry.Recorder
+	if *spansOut != "" {
+		spans = telemetry.NewRecorder()
+	}
+	root := spans.Start("amplify")
+	sp := spans.Start("read")
 	src, err := readInput(flag.Arg(0))
+	sp.Set("src_bytes", int64(len(src))).End()
 	if err != nil {
 		fatal(err)
 	}
 
 	if *vetOnly || *vetJSON {
+		sp = spans.Start("vet")
 		runVet(src, flag.Arg(0), *vetJSON)
+		sp.End()
+		root.End()
+		writeSpans(spans, *spansOut)
 		return
 	}
 	if *escapeJSON {
@@ -87,7 +104,9 @@ func main() {
 		opt.Exclude = strings.Split(*exclude, ",")
 	}
 	if *autoExclude {
+		sp = spans.Start("vet")
 		excl, err := vet.EligibilitySource(src)
+		sp.Set("ineligible", int64(len(excl))).End()
 		if err != nil {
 			fatal(err)
 		}
@@ -96,18 +115,39 @@ func main() {
 			opt.AutoExclude[e.Class] = e.Reason
 		}
 	}
+	sp = spans.Start("rewrite")
 	transformed, rep, err := core.Rewrite(src, opt)
+	sp.Set("out_bytes", int64(len(transformed))).End()
 	if err != nil {
 		fatal(err)
 	}
 	if *report {
 		fmt.Fprint(os.Stderr, rep.String())
 	}
+	sp = spans.Start("write")
 	if *out == "" {
 		fmt.Print(transformed)
+	} else if err := os.WriteFile(*out, []byte(transformed), 0o644); err != nil {
+		fatal(err)
+	}
+	sp.End()
+	root.End()
+	writeSpans(spans, *spansOut)
+}
+
+// writeSpans emits the recorded pipeline spans as JSONL; "-" routes
+// them to stderr so they never mix with the transformed source on
+// stdout.
+func writeSpans(spans *telemetry.Recorder, path string) {
+	if spans == nil || path == "" {
 		return
 	}
-	if err := os.WriteFile(*out, []byte(transformed), 0o644); err != nil {
+	out := spans.JSONL()
+	if path == "-" {
+		os.Stderr.Write(out)
+		return
+	}
+	if err := os.WriteFile(path, out, 0o644); err != nil {
 		fatal(err)
 	}
 }

@@ -38,6 +38,14 @@
 //	              noisy by construction
 //	-threshold p  allowed relative degradation for -compare, in percent
 //	              (fragmentation: percentage points); default 0 = exact
+//	-explain old new  attribute the regressions between two simulated
+//	              bench reports: diff like -compare, re-run the worst
+//	              regressed cells with the lock/cycle/heap-site
+//	              profilers attached, and print a deterministic ranked
+//	              report naming the responsible locks, fn@line sites
+//	              and allocator-op classes (JSON with -json; -j and
+//	              -threshold apply; report bytes are identical at any
+//	              -j). Exits 0 — explaining is diagnosis, not a gate
 //	-no-opt       disable the VM bytecode optimizer (default runs -O);
 //	              simulated results are identical either way — CI
 //	              enforces it — only host wall-clock changes
@@ -90,7 +98,8 @@ func run() error {
 	traceDir := flag.String("trace-dir", "", "export trace/profile/metrics artifacts into this directory")
 	heapDir := flag.String("heap-dir", "", "export heap timeline/site-profile/summary artifacts into this directory")
 	compare := flag.Bool("compare", false, "diff two bench reports: amplifybench -compare baseline.json current.json")
-	threshold := flag.Float64("threshold", 0, "with -compare: allowed degradation in percent (0 = exact)")
+	explain := flag.Bool("explain", false, "attribute regressions between two bench reports: amplifybench -explain baseline.json current.json")
+	threshold := flag.Float64("threshold", 0, "with -compare/-explain: allowed degradation in percent (0 = exact)")
 	cpuprofile := flag.String("cpuprofile", "", "write CPU profile to file")
 	memprofile := flag.String("memprofile", "", "write heap profile to file")
 	flag.Parse()
@@ -100,6 +109,13 @@ func run() error {
 			return fmt.Errorf("-compare needs exactly two report files: baseline.json current.json")
 		}
 		return runCompare(flag.Arg(0), flag.Arg(1), *threshold)
+	}
+
+	if *explain {
+		if flag.NArg() != 2 {
+			return fmt.Errorf("-explain needs exactly two report files: baseline.json current.json")
+		}
+		return runExplain(flag.Arg(0), flag.Arg(1), *threshold, *jobs, *jsonOut)
 	}
 
 	if *hostBench {
@@ -262,6 +278,47 @@ func runCompare(baselinePath, currentPath string, threshold float64) error {
 	if cmp.Regressed() {
 		return errRegression
 	}
+	return nil
+}
+
+// runExplain diffs two simulated bench reports and attributes every
+// regression via profiled re-runs of the worst cells (bench.Explain).
+// Unlike -compare it always exits 0 on success: attribution is the
+// diagnostic step after a -compare gate has already failed.
+func runExplain(baselinePath, currentPath string, threshold float64, jobs int, jsonOut bool) error {
+	var baseline, current bench.Report
+	for _, f := range []struct {
+		path string
+		into *bench.Report
+	}{{baselinePath, &baseline}, {currentPath, &current}} {
+		raw, err := os.ReadFile(f.path)
+		if err != nil {
+			return err
+		}
+		schema, err := sniffSchema(f.path, raw)
+		if err != nil {
+			return err
+		}
+		if !strings.HasPrefix(schema, "amplify-bench/") {
+			return fmt.Errorf("%s: -explain needs simulated bench reports (amplify-bench/*), got %q", f.path, schema)
+		}
+		if err := loadJSON(f.path, raw, f.into); err != nil {
+			return err
+		}
+	}
+	ex, err := bench.Explain(&baseline, &current, bench.ExplainOptions{
+		ThresholdPct: threshold,
+		Jobs:         jobs,
+	})
+	if err != nil {
+		return err
+	}
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(ex)
+	}
+	fmt.Print(ex.Format())
 	return nil
 }
 

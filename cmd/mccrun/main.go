@@ -44,11 +44,20 @@
 //	              allocation trace (internal/alloctrace format, vm engine
 //	              only) with a JSONL mirror at f.jsonl; replay it through
 //	              any allocator with mcctrace replay
-//	-metrics f    write a JSON metrics snapshot of the run
+//	-metrics f    write a JSON metrics snapshot of the run, including
+//	              per-span counters; use - for stderr
+//	-spans f      write a JSONL span stream of the whole pipeline (read
+//	              -> vet -> amplify -> parse -> sema -> compile ->
+//	              simulate) with host-time durations and deterministic
+//	              attributes; use - for stderr. With -trace-out the
+//	              spans also appear as a dedicated host track in the
+//	              Chrome trace, alongside the virtual-CPU tracks.
 //
-// The program's print() output goes to stdout; the exit code is main's
-// return value. Observation never charges simulated work: every -trace/
-// -profile/-heap flag leaves the makespan and all other simulated
+// The program's print() output goes to stdout; everything diagnostic
+// (-stats, -metrics -, -spans -) goes to stderr, so recorded stdout
+// stays byte-diffable. The exit code is main's return value.
+// Observation never charges simulated work: every -trace/-profile/
+// -heap/-spans flag leaves the makespan and all other simulated
 // numbers unchanged.
 package main
 
@@ -67,6 +76,7 @@ import (
 	"amplify/internal/interp"
 	"amplify/internal/obsv"
 	"amplify/internal/sim"
+	"amplify/internal/telemetry"
 	"amplify/internal/vet"
 	"amplify/internal/vm"
 )
@@ -114,7 +124,8 @@ func run(args []string) (int, error) {
 	heapInterval := fs.Int64("heap-interval", heapobsv.DefaultInterval, "heap-timeline sampling period in cycles")
 	heapProfile := fs.String("heap-profile", "", "write folded stacks of allocated bytes per MiniCC site (vm engine only); per-site table goes to <file>.sites")
 	recordTrace := fs.String("record-trace", "", "write the allocator request stream as a binary allocation trace (vm engine only); JSONL mirror goes to <file>.jsonl")
-	metricsOut := fs.String("metrics", "", "write a JSON metrics snapshot of the run")
+	metricsOut := fs.String("metrics", "", "write a JSON metrics snapshot of the run (use - for stderr)")
+	spansOut := fs.String("spans", "", "write a JSONL span stream of the pipeline phases (use - for stderr)")
 	vetFirst := fs.Bool("vet", false, "lint the program before running; refuse to run on errors")
 	escape := fs.Bool("escape", false, "with -amplify: apply the escape-analysis-driven rewrites")
 	if err := fs.Parse(args); err != nil {
@@ -136,7 +147,16 @@ func run(args []string) (int, error) {
 	default:
 		return 0, fmt.Errorf("unknown engine %q (want vm, closure or ast)", *engine)
 	}
+	// The span recorder is nil unless requested; every Start/Set/End
+	// below is a no-op then, so the hot path carries no bookkeeping.
+	var spans *telemetry.Recorder
+	if *spansOut != "" || *traceOut != "" || *metricsOut != "" {
+		spans = telemetry.NewRecorder()
+	}
+	root := spans.Start("mccrun")
+	sp := spans.Start("read")
 	src, err := readInput(fs.Arg(0))
+	sp.Set("src_bytes", int64(len(src))).End()
 	if err != nil {
 		return 0, err
 	}
@@ -144,6 +164,7 @@ func run(args []string) (int, error) {
 		return 0, fmt.Errorf("-escape needs -amplify (it selects which rewrites the pre-processor applies)")
 	}
 	if *vetFirst {
+		sp := spans.Start("vet")
 		res, err := vet.CheckSource(src)
 		if err != nil {
 			return 0, err
@@ -160,8 +181,10 @@ func run(args []string) (int, error) {
 			return 0, err
 		}
 		fmt.Fprint(os.Stderr, esc.String())
+		sp.End()
 	}
 	if *amplify {
+		sp := spans.Start("amplify")
 		transformed, rep, err := core.Rewrite(src, core.Options{
 			ArraysOnly: *arraysOnly,
 			Mode:       core.Mode(*mode),
@@ -170,6 +193,7 @@ func run(args []string) (int, error) {
 		if err != nil {
 			return 0, err
 		}
+		sp.Set("out_bytes", int64(len(transformed))).End()
 		src = transformed
 		if *stats {
 			fmt.Fprint(os.Stderr, rep.String())
@@ -222,7 +246,7 @@ func run(args []string) (int, error) {
 		res = runResult{r.Output, r.ExitCode, r.Makespan, r.Alloc,
 			r.PoolHits, r.PoolMisses, r.ShadowReuses, r.Sim, r.Footprint}
 	case "vm", "closure":
-		vcfg := vm.Config{Processors: *procs, Strategy: *allocName, NoOpt: *noOpt}
+		vcfg := vm.Config{Processors: *procs, Strategy: *allocName, NoOpt: *noOpt, Spans: spans}
 		if *engine == "closure" {
 			vcfg.Engine = "closure"
 		}
@@ -263,6 +287,7 @@ func run(args []string) (int, error) {
 	default:
 		return 0, fmt.Errorf("unknown engine %q (want vm, closure or ast)", *engine)
 	}
+	root.End()
 	if rec != nil && *trace > 0 {
 		fmt.Fprint(os.Stderr, rec.Timeline())
 	}
@@ -272,8 +297,8 @@ func run(args []string) (int, error) {
 	if _, err := io.WriteString(os.Stdout, res.output); err != nil {
 		return 0, fmt.Errorf("writing program output: %w", err)
 	}
-	if err := writeArtifacts(rec, prof, timeline, sites, res, *procs,
-		*traceOut, *traceJSONL, *profileOut, *heapTimeline, *heapProfile, *metricsOut); err != nil {
+	if err := writeArtifacts(rec, prof, timeline, sites, spans, res, *procs,
+		*traceOut, *traceJSONL, *profileOut, *heapTimeline, *heapProfile, *metricsOut, *spansOut); err != nil {
 		return 0, err
 	}
 	if *recordTrace != "" {
@@ -306,13 +331,24 @@ func run(args []string) (int, error) {
 // writeArtifacts emits the requested observability files. Every JSON
 // artifact is checked with json.Valid before it reaches disk.
 func writeArtifacts(rec *sim.Recorder, prof *obsv.Profiler, timeline *heapobsv.Timeline, sites *heapobsv.SiteProfile,
-	res runResult, procs int, traceOut, traceJSONL, profileOut, heapTimeline, heapProfile, metricsOut string) error {
+	spans *telemetry.Recorder, res runResult, procs int,
+	traceOut, traceJSONL, profileOut, heapTimeline, heapProfile, metricsOut, spansOut string) error {
 	var events []sim.Event
 	if rec != nil {
 		events = rec.Snapshot()
 	}
+	if spansOut != "" {
+		out := spans.JSONL()
+		if spansOut == "-" {
+			if _, err := os.Stderr.Write(out); err != nil {
+				return err
+			}
+		} else if err := os.WriteFile(spansOut, out, 0o644); err != nil {
+			return err
+		}
+	}
 	if traceOut != "" {
-		out, err := obsv.ChromeTrace(events, procs)
+		out, err := obsv.ChromeTraceSpans(events, procs, spans.Spans())
 		if err != nil {
 			return err
 		}
@@ -384,6 +420,7 @@ func writeArtifacts(rec *sim.Recorder, prof *obsv.Profiler, timeline *heapobsv.T
 		reg.Set("sim.atomic.stores", res.sim.AtomicStores)
 		reg.Set("sim.migrations", res.sim.Migrations)
 		reg.Set("footprint.bytes", res.footprint)
+		spans.AddTo(reg)
 		out, err := reg.JSON()
 		if err != nil {
 			return err
@@ -391,7 +428,13 @@ func writeArtifacts(rec *sim.Recorder, prof *obsv.Profiler, timeline *heapobsv.T
 		if !json.Valid(out) {
 			return fmt.Errorf("metrics export produced invalid JSON")
 		}
-		if err := os.WriteFile(metricsOut, out, 0o644); err != nil {
+		// "-" routes the snapshot to stderr, keeping the simulated
+		// program's stdout byte-diffable against a recorded run.
+		if metricsOut == "-" {
+			if _, err := os.Stderr.Write(out); err != nil {
+				return err
+			}
+		} else if err := os.WriteFile(metricsOut, out, 0o644); err != nil {
 			return err
 		}
 	}

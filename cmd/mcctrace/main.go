@@ -9,6 +9,11 @@
 //	mcctrace replay [-alloc s] [-procs n] trace...
 //	                                       drive a trace through an allocator
 //
+// analyze and replay accept - as a trace argument to read the binary
+// trace from stdin, so mccrun -record-trace output can be piped in
+// without touching disk; a committed corpus name works anywhere a
+// file path does.
+//
 // gen writes every corpus as <name>.trace (binary), <name>.trace.jsonl
 // (mirror) and a SHA256SUMS manifest — the files committed under
 // testdata/traces/, which CI re-generates and checksum-pins. analyze
@@ -22,6 +27,7 @@ import (
 	"crypto/sha256"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 
@@ -174,9 +180,17 @@ func runReplay(args []string) error {
 	return nil
 }
 
-// readTrace loads a binary trace, falling back to a committed corpus
-// name when the argument is not a file.
+// readTrace loads a binary trace — from stdin when the argument is
+// "-" — falling back to a committed corpus name when the argument is
+// not a file.
 func readTrace(path string) (*alloctrace.Trace, error) {
+	if path == "-" {
+		data, err := io.ReadAll(os.Stdin)
+		if err != nil {
+			return nil, fmt.Errorf("reading trace from stdin: %w", err)
+		}
+		return alloctrace.Decode(data)
+	}
 	data, err := os.ReadFile(path)
 	if err != nil {
 		if tr, cerr := alloctrace.Corpus(path); cerr == nil {

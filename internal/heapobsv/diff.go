@@ -1,0 +1,35 @@
+package heapobsv
+
+import "amplify/internal/telemetry"
+
+// DiffTimelines diffs two heap timelines on their final samples — the
+// cumulative counters and end-state heap geometry that explain where a
+// footprint or fragmentation number moved — and returns the movements
+// ranked by magnitude, dropping rows below minShareBP of the larger
+// timeline's total. Keys are the timeline's column names, so a delta
+// reads like "pool_misses: 40 -> 400".
+//
+// Only the final samples are compared: every counter is cumulative, so
+// the last row subsumes the run, and comparing row-by-row would couple
+// the diff to sampling phase rather than behavior.
+func DiffTimelines(old, new []Sample, minShareBP int64) []telemetry.Delta {
+	return telemetry.DiffCounts(finalSample(old), finalSample(new), minShareBP)
+}
+
+// finalSample flattens a timeline's last row into column → value form,
+// in the artifact's fixed column order (minus "now", which is the
+// sample position rather than heap state).
+func finalSample(samples []Sample) map[string]int64 {
+	if len(samples) == 0 {
+		return nil
+	}
+	vals := samples[len(samples)-1].values()
+	m := make(map[string]int64, len(csvColumns)-1)
+	for i, col := range csvColumns {
+		if col == "now" {
+			continue
+		}
+		m[col] = vals[i]
+	}
+	return m
+}

@@ -19,7 +19,9 @@ type Multi []alloc.Observer
 // Observe implements alloc.Observer.
 func (m Multi) Observe(now int64, op alloc.ObsOp, bytes int64) {
 	for _, o := range m {
-		o.Observe(now, op, bytes)
+		if o != nil {
+			o.Observe(now, op, bytes)
+		}
 	}
 }
 
@@ -28,7 +30,7 @@ func (m Multi) ObserveAlloc(now int64, thread int, req, granted int64, ref mem.R
 	for _, o := range m {
 		if t, ok := o.(alloc.TraceObserver); ok {
 			t.ObserveAlloc(now, thread, req, granted, ref)
-		} else {
+		} else if o != nil {
 			o.Observe(now, alloc.ObsAlloc, granted)
 		}
 	}
@@ -39,7 +41,7 @@ func (m Multi) ObserveFree(now int64, thread int, granted int64, ref mem.Ref) {
 	for _, o := range m {
 		if t, ok := o.(alloc.TraceObserver); ok {
 			t.ObserveFree(now, thread, granted, ref)
-		} else {
+		} else if o != nil {
 			o.Observe(now, alloc.ObsFree, granted)
 		}
 	}
@@ -76,33 +78,42 @@ type HeapProfiler interface {
 
 // ProfTee fans the VM's allocation-site hooks out to several
 // consumers — e.g. a SiteProfile and a trace Recorder attached to the
-// same run through the single HeapProf slot.
+// same run through the single HeapProf slot. Nil consumers are
+// tolerated and skipped, like Multi's nil children.
 type ProfTee []HeapProfiler
 
 // Enter forwards a shadow-stack push to every consumer.
 func (t ProfTee) Enter(thread int, fn string, now int64) {
 	for _, p := range t {
-		p.Enter(thread, fn, now)
+		if p != nil {
+			p.Enter(thread, fn, now)
+		}
 	}
 }
 
 // Exit forwards a shadow-stack pop to every consumer.
 func (t ProfTee) Exit(thread int, now int64) {
 	for _, p := range t {
-		p.Exit(thread, now)
+		if p != nil {
+			p.Exit(thread, now)
+		}
 	}
 }
 
 // Alloc forwards a program-level birth to every consumer.
 func (t ProfTee) Alloc(thread int, site, class string, bytes int64, ref mem.Ref) {
 	for _, p := range t {
-		p.Alloc(thread, site, class, bytes, ref)
+		if p != nil {
+			p.Alloc(thread, site, class, bytes, ref)
+		}
 	}
 }
 
 // Free forwards a program-level death to every consumer.
 func (t ProfTee) Free(thread int, ref mem.Ref) {
 	for _, p := range t {
-		p.Free(thread, ref)
+		if p != nil {
+			p.Free(thread, ref)
+		}
 	}
 }

@@ -1,0 +1,146 @@
+package heapobsv
+
+import (
+	"testing"
+
+	"amplify/internal/alloc"
+	"amplify/internal/mem"
+)
+
+// plainObs counts downgraded observer events only.
+type plainObs struct {
+	events  []alloc.ObsOp
+	watched bool
+}
+
+func (p *plainObs) Observe(now int64, op alloc.ObsOp, bytes int64) { p.events = append(p.events, op) }
+func (p *plainObs) Watch(sp *mem.Space, a alloc.Allocator)         { p.watched = true }
+
+// richObs also implements alloc.TraceObserver, so Multi must hand it
+// the full per-thread alloc/free records instead of downgrading.
+type richObs struct {
+	plainObs
+	allocs, frees int
+}
+
+func (r *richObs) ObserveAlloc(now int64, thread int, req, granted int64, ref mem.Ref) { r.allocs++ }
+func (r *richObs) ObserveFree(now int64, thread int, granted int64, ref mem.Ref)       { r.frees++ }
+
+// tee records HeapProfiler fan-out calls.
+type tee struct{ enters, exits, allocs, frees int }
+
+func (t *tee) Enter(thread int, fn string, now int64)                         { t.enters++ }
+func (t *tee) Exit(thread int, now int64)                                     { t.exits++ }
+func (t *tee) Alloc(thread int, site, class string, bytes int64, ref mem.Ref) { t.allocs++ }
+func (t *tee) Free(thread int, ref mem.Ref)                                   { t.frees++ }
+
+func TestMultiDowngradesForPlainChildren(t *testing.T) {
+	plain := &plainObs{}
+	rich := &richObs{}
+	m := Multi{plain, rich}
+	m.ObserveAlloc(10, 1, 32, 48, mem.Ref(0x100))
+	m.ObserveFree(20, 1, 48, mem.Ref(0x100))
+	m.Observe(30, alloc.ObsPoolHit, 0)
+
+	if rich.allocs != 1 || rich.frees != 1 {
+		t.Errorf("rich child got %d allocs / %d frees", rich.allocs, rich.frees)
+	}
+	if len(rich.events) != 1 || rich.events[0] != alloc.ObsPoolHit {
+		t.Errorf("rich child's plain events = %v (rich events must not double-count)", rich.events)
+	}
+	want := []alloc.ObsOp{alloc.ObsAlloc, alloc.ObsFree, alloc.ObsPoolHit}
+	if len(plain.events) != len(want) {
+		t.Fatalf("plain child events = %v, want %v", plain.events, want)
+	}
+	for i, op := range want {
+		if plain.events[i] != op {
+			t.Errorf("plain event %d = %v, want %v", i, plain.events[i], op)
+		}
+	}
+}
+
+func TestMultiZeroObserversAndNilChildren(t *testing.T) {
+	// Zero observers: every dispatch is a no-op, not a panic.
+	var empty Multi
+	empty.Observe(0, alloc.ObsAlloc, 1)
+	empty.ObserveAlloc(0, 0, 1, 1, mem.Ref(1))
+	empty.ObserveFree(0, 0, 1, mem.Ref(1))
+	empty.Watch(nil, nil)
+	empty.WatchPools(nil)
+
+	// Nil children are skipped on every path, including the downgrade
+	// dispatch (a nil interface fails the TraceObserver assertion and
+	// must not then be called as a plain Observer).
+	plain := &plainObs{}
+	m := Multi{nil, plain, nil}
+	m.Observe(0, alloc.ObsFree, 1)
+	m.ObserveAlloc(0, 1, 8, 16, mem.Ref(0x10))
+	m.ObserveFree(0, 1, 16, mem.Ref(0x10))
+	m.Watch(nil, nil)
+	m.WatchPools(nil)
+	if len(plain.events) != 3 {
+		t.Errorf("live child saw %d events, want 3", len(plain.events))
+	}
+	if !plain.watched {
+		t.Error("live child's Watch not forwarded")
+	}
+}
+
+func TestMultiNested(t *testing.T) {
+	inner := &plainObs{}
+	rich := &richObs{}
+	outer := Multi{Multi{inner, rich}, nil}
+	outer.ObserveAlloc(5, 2, 16, 32, mem.Ref(0x40))
+	outer.Observe(6, alloc.ObsPoolMiss, 0)
+
+	// Multi itself implements TraceObserver, so the outer fan-out hands
+	// the inner Multi the rich event; the inner one then downgrades per
+	// child. One event each, no duplication.
+	if len(inner.events) != 2 || inner.events[0] != alloc.ObsAlloc || inner.events[1] != alloc.ObsPoolMiss {
+		t.Errorf("inner plain child events = %v", inner.events)
+	}
+	if rich.allocs != 1 || len(rich.events) != 1 {
+		t.Errorf("inner rich child: allocs=%d events=%v", rich.allocs, rich.events)
+	}
+}
+
+func TestProfTeeNilAndEmpty(t *testing.T) {
+	var empty ProfTee
+	empty.Enter(0, "main", 0)
+	empty.Exit(0, 0)
+	empty.Alloc(0, "main@1", "Node", 16, mem.Ref(1))
+	empty.Free(0, mem.Ref(1))
+
+	a, b := &tee{}, &tee{}
+	pt := ProfTee{a, nil, b}
+	pt.Enter(1, "worker", 10)
+	pt.Alloc(1, "worker@3", "Node", 24, mem.Ref(0x20))
+	pt.Free(1, mem.Ref(0x20))
+	pt.Exit(1, 20)
+	for _, c := range []*tee{a, b} {
+		if c.enters != 1 || c.exits != 1 || c.allocs != 1 || c.frees != 1 {
+			t.Errorf("consumer got %+v, want one of each", *c)
+		}
+	}
+}
+
+func TestDiffTimelines(t *testing.T) {
+	oldTL := []Sample{{Now: 0}, {Now: 100, Footprint: 1 << 12, PoolMisses: 4, Allocs: 100}}
+	newTL := []Sample{{Now: 0}, {Now: 100, Footprint: 1 << 14, PoolMisses: 400, Allocs: 100}}
+	ds := DiffTimelines(oldTL, newTL, 0)
+	if len(ds) != 2 {
+		t.Fatalf("deltas = %+v", ds)
+	}
+	if ds[0].Key != "footprint" || ds[0].Delta != (1<<14)-(1<<12) {
+		t.Errorf("top delta = %+v", ds[0])
+	}
+	if ds[1].Key != "pool_misses" || ds[1].Delta != 396 {
+		t.Errorf("second delta = %+v", ds[1])
+	}
+	if got := DiffTimelines(nil, newTL, 0); len(got) == 0 {
+		t.Error("empty-old diff lost the new side")
+	}
+	if got := DiffTimelines(nil, nil, 0); got != nil {
+		t.Errorf("empty diff produced %+v", got)
+	}
+}

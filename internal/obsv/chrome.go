@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"amplify/internal/sim"
+	"amplify/internal/telemetry"
 )
 
 // chromeEvent is one entry of the Chrome trace_event format
@@ -16,12 +17,18 @@ type chromeEvent struct {
 	Cat  string           `json:"cat,omitempty"`
 	Ph   string           `json:"ph"`
 	TS   int64            `json:"ts"`
+	Dur  int64            `json:"dur,omitempty"`
 	PID  int              `json:"pid"`
 	TID  int              `json:"tid"`
 	ID   string           `json:"id,omitempty"`
 	S    string           `json:"s,omitempty"`
 	Args map[string]int64 `json:"args,omitempty"`
 }
+
+// hostPID is the process ID of the host-pipeline track: the virtual
+// CPUs render as PID 0's threads, the host-time pipeline spans as PID
+// 1's, so one trace file shows both clocks side by side.
+const hostPID = 1
 
 type chromeTrace struct {
 	TraceEvents     []chromeEvent `json:"traceEvents"`
@@ -37,6 +44,17 @@ type chromeTrace struct {
 // 1:1 to microseconds. procs is the simulated processor count (tracks
 // are emitted even for CPUs that saw no events).
 func ChromeTrace(events []sim.Event, procs int) ([]byte, error) {
+	return ChromeTraceSpans(events, procs, nil)
+}
+
+// ChromeTraceSpans is ChromeTrace with a dedicated host-time track:
+// the pipeline spans render as complete ("X") slices under PID 1,
+// nested by their recorded depth, alongside the virtual-CPU tracks of
+// PID 0. Span timestamps are host nanoseconds rebased to the earliest
+// span and scaled to microseconds, so the host track starts at 0 like
+// the virtual one; the deterministic span attributes ride along as
+// args. With no spans the output is byte-identical to ChromeTrace.
+func ChromeTraceSpans(events []sim.Event, procs int, spans []telemetry.Span) ([]byte, error) {
 	tr := chromeTrace{DisplayTimeUnit: "ms", TraceEvents: []chromeEvent{}}
 	tr.TraceEvents = append(tr.TraceEvents, chromeEvent{
 		Name: "process_name", Ph: "M", PID: 0, Args: map[string]int64{},
@@ -85,6 +103,33 @@ func ChromeTrace(events []sim.Event, procs int) ([]byte, error) {
 			tr.TraceEvents = append(tr.TraceEvents, instant(e, cpu))
 		default:
 			tr.TraceEvents = append(tr.TraceEvents, instant(e, cpu))
+		}
+	}
+	if len(spans) > 0 {
+		tr.TraceEvents = append(tr.TraceEvents, chromeEvent{
+			Name: "thread_name", Ph: "M", PID: hostPID, TID: 0,
+			Args: map[string]int64{"sort_index": -1},
+		})
+		origin := spans[0].StartNS
+		for _, s := range spans {
+			if s.StartNS < origin {
+				origin = s.StartNS
+			}
+		}
+		for _, s := range spans {
+			args := map[string]int64{"seq": int64(s.Seq), "depth": int64(s.Depth)}
+			for k, v := range s.Attrs {
+				args[k] = v
+			}
+			dur := s.DurNS / 1000
+			if dur <= 0 {
+				dur = 1 // sub-microsecond spans still need visible extent
+			}
+			tr.TraceEvents = append(tr.TraceEvents, chromeEvent{
+				Name: s.ID, Cat: "host", Ph: "X",
+				TS: (s.StartNS - origin) / 1000, Dur: dur,
+				PID: hostPID, TID: 0, Args: args,
+			})
 		}
 	}
 	out, err := json.Marshal(tr)

@@ -1,0 +1,22 @@
+package obsv
+
+import "amplify/internal/telemetry"
+
+// DiffLockProfiles diffs two per-lock contention profiles on their
+// wait cycles — the quantity that moves a makespan — and returns the
+// movements ranked by magnitude, dropping locks whose movement is
+// below minShareBP of the larger profile's total wait. Keys are the
+// lock names the simulator registered ("serial.global",
+// "ptmalloc.arena3", "pool.Node.0", ...), so a delta directly names a
+// culprit.
+func DiffLockProfiles(old, new []LockStats, minShareBP int64) []telemetry.Delta {
+	return telemetry.DiffCounts(lockWaits(old), lockWaits(new), minShareBP)
+}
+
+func lockWaits(stats []LockStats) map[string]int64 {
+	m := make(map[string]int64, len(stats))
+	for _, s := range stats {
+		m[s.Name] = s.WaitCycles
+	}
+	return m
+}

@@ -9,6 +9,7 @@ import (
 	"amplify/internal/mem"
 	"amplify/internal/pool"
 	"amplify/internal/sim"
+	"amplify/internal/telemetry"
 
 	_ "amplify/internal/hoard"
 	_ "amplify/internal/lfalloc"
@@ -55,6 +56,12 @@ type Config struct {
 	// Options.NoOpt). Programs compiled with Compile/CompileOpts carry
 	// their own setting and ignore this field.
 	NoOpt bool
+	// Spans records host-time pipeline spans (parse/sema/compile/
+	// simulate) on the given telemetry recorder. Purely host-side
+	// bookkeeping: span durations are wall-clock, span attributes are
+	// deterministic simulated numbers, and a non-nil recorder never
+	// changes makespans (it does not affect bulk work batching).
+	Spans *telemetry.Recorder
 }
 
 // Profiler observes function activations in virtual time. The VM calls
@@ -126,23 +133,33 @@ type PoolStat struct {
 
 // RunSource parses, analyzes, compiles and runs a MiniCC program.
 func RunSource(src string, cfg Config) (Result, error) {
+	sp := cfg.Spans.Start("parse").Set("src_bytes", int64(len(src)))
 	prog, err := cc.Parse(src)
+	sp.End()
 	if err != nil {
 		return Result{}, err
 	}
-	if err := cc.Analyze(prog); err != nil {
+	sp = cfg.Spans.Start("sema")
+	err = cc.Analyze(prog)
+	sp.End()
+	if err != nil {
 		return Result{}, err
 	}
+	sp = cfg.Spans.Start("compile")
 	compiled, err := CompileOpts(prog, Options{NoOpt: cfg.NoOpt})
 	if err != nil {
+		sp.End()
 		return Result{}, err
 	}
+	sp.Set("functions", int64(len(compiled.Fns))).End()
 	return Run(compiled, cfg)
 }
 
 // Run executes a compiled program on the simulated machine.
 func Run(p *Program, cfg Config) (res Result, err error) {
 	cfg = cfg.withDefaults()
+	span := cfg.Spans.Start("simulate")
+	defer span.End()
 	mainID, ok := p.FuncID["main"]
 	if !ok {
 		return res, fmt.Errorf("vm: program has no main function")
@@ -223,6 +240,9 @@ func Run(p *Program, cfg Config) (res Result, err error) {
 	if insp, ok := under.(alloc.Inspector); ok {
 		res.Heap = insp.Inspect()
 	}
+	span.Set("makespan", res.Makespan).
+		Set("allocs", res.Alloc.Allocs).
+		Set("footprint", res.Footprint)
 	for _, pl := range m.rt.Pools() {
 		res.PoolHits += pl.Hits
 		res.PoolMisses += pl.Misses
